@@ -1,0 +1,91 @@
+// Command driftbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	driftbench -exp table2            # one experiment
+//	driftbench -exp all               # everything, paper order
+//	driftbench -exp fig4 -csv out/    # also dump CSV series/tables
+//	driftbench -list                  # show the experiment registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"edgedrift/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1, fig4, table2..table6, ablation-*), 'all', or 'ablations'")
+	seed := flag.Uint64("seed", 1, "random seed for the whole experiment")
+	csvDir := flag.String("csv", "", "directory to write CSV tables/series into")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		for _, e := range eval.RegistryAblations() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		for _, e := range eval.RegistryExtensions() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []eval.Experiment
+	switch *exp {
+	case "all":
+		todo = eval.Registry()
+	case "ablations":
+		todo = eval.RegistryAblations()
+	case "extensions":
+		todo = eval.RegistryExtensions()
+	default:
+		e, ok := eval.LookupAny(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		todo = []eval.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		out := e.Run(*seed)
+		fmt.Printf("== %s (%s, %.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, t := range out.Tables {
+			fmt.Println(t.String())
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, out); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, out *eval.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range out.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", id, i))
+		if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, f := range out.Figures {
+		name := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", id, f.Name))
+		if err := os.WriteFile(name, []byte(eval.SeriesCSV(f.XLabel, f.Series)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Command drifteval runs the proposed drift monitor over CSV data: train
+// on one file, stream another, and report drift events (plus accuracy
+// when the stream is labelled).
+//
+// The CSV layout is feature columns with an optional trailing "label"
+// column — the format cmd/datagen writes, so the two tools compose:
+//
+//	go run ./cmd/datagen -dataset nslkdd -out data/
+//	go run ./cmd/drifteval -train data/nslkdd_train.csv \
+//	    -stream data/nslkdd_test.csv -classes 2 -window 100
+//
+// Real datasets exported from elsewhere work the same way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgedrift"
+	"edgedrift/internal/eval"
+	"edgedrift/internal/stream"
+)
+
+func main() {
+	trainPath := flag.String("train", "", "training CSV (required)")
+	streamPath := flag.String("stream", "", "evaluation stream CSV (required)")
+	classes := flag.Int("classes", 0, "number of classes (0 = infer from training labels)")
+	hidden := flag.Int("hidden", 22, "autoencoder hidden width")
+	window := flag.Int("window", 100, "detector window size W")
+	nrecon := flag.Int("nrecon", 0, "reconstruction length N (0 = default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	standardize := flag.Bool("standardize", false, "z-score features using training statistics")
+	save := flag.String("save", "", "write the fitted monitor to this file after the run")
+	flag.Parse()
+
+	if *trainPath == "" || *streamPath == "" {
+		fmt.Fprintln(os.Stderr, "drifteval: -train and -stream are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*trainPath, *streamPath, *classes, *hidden, *window, *nrecon, *seed, *standardize, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "drifteval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trainPath, streamPath string, classes, hidden, window, nrecon int, seed uint64, standardize bool, save string) error {
+	train, err := loadCSV(trainPath)
+	if err != nil {
+		return err
+	}
+	test, err := loadCSV(streamPath)
+	if err != nil {
+		return err
+	}
+	if train.Dims() != test.Dims() {
+		return fmt.Errorf("dimension mismatch: train %d vs stream %d", train.Dims(), test.Dims())
+	}
+	if standardize {
+		std, err := stream.FitStandardizer(train.X)
+		if err != nil {
+			return err
+		}
+		std.ApplyAll(train.X)
+		std.ApplyAll(test.X)
+	}
+
+	if classes == 0 {
+		if !train.Labelled() {
+			return fmt.Errorf("-classes required for unlabelled training data")
+		}
+		for _, y := range train.Y {
+			if y+1 > classes {
+				classes = y + 1
+			}
+		}
+	}
+
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: classes,
+		Inputs:  train.Dims(),
+		Hidden:  hidden,
+		Window:  window,
+		NRecon:  nrecon,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	if train.Labelled() {
+		err = mon.Fit(train.X, train.Y)
+	} else {
+		_, err = mon.FitUnsupervised(train.X)
+	}
+	if err != nil {
+		return err
+	}
+	thErr, thDrift := mon.Thresholds()
+	fmt.Printf("fitted on %d samples (%d features, %d classes): θ_error=%.4g θ_drift=%.4g\n",
+		train.Len(), train.Dims(), classes, thErr, thDrift)
+
+	var mapper *eval.LabelMapper
+	correct := 0
+	if test.Labelled() {
+		maxLab := 0
+		for _, y := range test.Y {
+			if y > maxLab {
+				maxLab = y
+			}
+		}
+		mapper = eval.NewLabelMapper(classes, maxLab+1)
+	}
+	for i, x := range test.X {
+		r := mon.Process(x)
+		if r.DriftDetected {
+			fmt.Printf("sample %6d: concept drift detected (dist %.4g ≥ θ_drift) — reconstructing\n", i, r.Dist)
+			if mapper != nil {
+				mapper.Reset()
+			}
+		}
+		if mapper != nil {
+			if mapper.Map(r.Label) == test.Y[i] {
+				correct++
+			}
+			mapper.Observe(r.Label, test.Y[i])
+		}
+	}
+	fmt.Printf("stream done: %d samples, %d drift event(s), %d reconstruction(s)\n",
+		test.Len(), len(mon.DriftEvents()), mon.Reconstructions())
+	if mapper != nil {
+		fmt.Printf("accuracy: %.2f%%\n", 100*float64(correct)/float64(test.Len()))
+	}
+	fmt.Printf("retained state: %d bytes\n", mon.MemoryBytes())
+
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mon.Save(f, edgedrift.Float32); err != nil {
+			return err
+		}
+		fmt.Printf("saved float32 deployment artifact to %s\n", save)
+	}
+	return nil
+}
+
+func loadCSV(path string) (*stream.Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := stream.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("%s: empty stream", path)
+	}
+	return d, nil
+}

@@ -1,0 +1,252 @@
+// Package edgedrift is a lightweight, fully sequential concept-drift
+// detection library for resource-limited edge devices, reproducing
+// Yamada & Matsutani, "A Lightweight Concept Drift Detection Method for
+// On-Device Learning on Resource-Limited Edge Devices" (IPPS 2023).
+//
+// The library couples a multi-instance OS-ELM autoencoder model (one
+// instance per class, argmin-reconstruction-error prediction) with a
+// centroid-tracking drift detector whose every step — prediction,
+// centroid update, distance test, and drift-triggered model
+// reconstruction — is O(1)-per-sample sequential computation over
+// O(C·D + H²) state. Nothing buffers past samples, which is what lets
+// the whole system run in the 264 kB of a Raspberry Pi Pico.
+//
+// Quickstart:
+//
+//	mon, _ := edgedrift.New(edgedrift.Options{
+//		Classes: 2, Inputs: 38, Hidden: 22, Window: 100, Seed: 1,
+//	})
+//	_ = mon.Fit(trainX, trainY) // or FitUnsupervised(trainX)
+//	for _, x := range stream {
+//		r := mon.Process(x)
+//		if r.DriftDetected {
+//			log.Println("concept drift — model reconstruction started")
+//		}
+//	}
+//
+// The internal packages expose the substrates (OS-ELM, QuantTree, SPLL,
+// DDM, ADWIN, k-means, device cost models, dataset surrogates) to the
+// example programs and the benchmark harness in this repository; this
+// package is the stable user-facing surface.
+package edgedrift
+
+import (
+	"errors"
+	"fmt"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/model"
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/oselm"
+	"edgedrift/internal/rng"
+	"edgedrift/internal/stats"
+)
+
+// Result is the per-sample outcome of Monitor.Process.
+type Result = core.Result
+
+// Phase is the detector state (Monitoring, Checking, Reconstructing).
+type Phase = core.Phase
+
+// Detector phases, re-exported for switch statements on Result.Phase.
+const (
+	Monitoring     = core.Monitoring
+	Checking       = core.Checking
+	Reconstructing = core.Reconstructing
+)
+
+// OpCounter tallies modelled floating-point work; attach one with
+// Monitor.SetOps and convert it to device time with the device profiles
+// in internal/device (or your own cycle model).
+type OpCounter = opcount.Counter
+
+// Options configures a Monitor.
+type Options struct {
+	// Classes is the number of labels C; one autoencoder instance each.
+	Classes int
+	// Inputs is the feature dimension D.
+	Inputs int
+	// Hidden is the autoencoder hidden-layer width (the paper uses 22).
+	Hidden int
+	// Window is the detector's window size W (paper Table 2/3 values:
+	// 10–1000 depending on the expected drift behaviour).
+	Window int
+	// Seed drives all random state (projections, calibration); same
+	// seed, same behaviour.
+	Seed uint64
+
+	// Forgetting < 1 enables the ONLAD-style forgetting factor inside
+	// each instance. 0 means 1 (plain OS-ELM).
+	Forgetting float64
+	// Ridge regularises the sequential least squares (0 → 1e-2).
+	Ridge float64
+	// ZDrift and ZError are the threshold calibration widths (0 → 1 for
+	// drift, 2 for error — see Monitor.Fit).
+	ZDrift, ZError float64
+	// ErrorThreshold and DriftThreshold pin θ_error / θ_drift manually
+	// when > 0, bypassing calibration.
+	ErrorThreshold, DriftThreshold float64
+	// NRecon, NSearch, NUpdate size the reconstruction (0 → detector
+	// defaults).
+	NRecon, NSearch, NUpdate int
+	// TrainDuringMonitor keeps sequentially training the closest
+	// instance on every monitored sample (the passive ONLAD behaviour).
+	TrainDuringMonitor bool
+}
+
+// Monitor is the user-facing bundle of discriminative model + drift
+// detector. It is not safe for concurrent use.
+type Monitor struct {
+	opts  Options
+	model *model.Multi
+	det   *core.Detector
+	rng   *rng.Rand
+	fit   bool
+}
+
+// New builds an untrained Monitor. Call Fit or FitUnsupervised before
+// Process.
+func New(opts Options) (*Monitor, error) {
+	if opts.Ridge == 0 {
+		opts.Ridge = 1e-2
+	}
+	r := rng.New(opts.Seed)
+	m, err := model.New(model.Config{
+		Classes:    opts.Classes,
+		Inputs:     opts.Inputs,
+		Hidden:     opts.Hidden,
+		Forgetting: opts.Forgetting,
+		Ridge:      opts.Ridge,
+	}, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Window:            opts.Window,
+		ZDrift:            opts.ZDrift,
+		ZError:            opts.ZError,
+		ErrorThreshold:    opts.ErrorThreshold,
+		DriftThreshold:    opts.DriftThreshold,
+		NRecon:            opts.NRecon,
+		NSearch:           opts.NSearch,
+		NUpdate:           opts.NUpdate,
+		ResetModelOnDrift: true,
+	}
+	det, err := core.New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{opts: opts, model: m, det: det, rng: r}, nil
+}
+
+// Fit trains the discriminative model sequentially on the labelled
+// initial data and calibrates both detector thresholds.
+//
+// θ_error is calibrated prequentially: each sample is scored before it is
+// trained on, and the threshold is μ + ZError·σ of the second-half
+// scores (ZError defaults to 2). Scoring after training would measure
+// overfit reconstruction errors and open a check window on every
+// deployment sample.
+func (m *Monitor) Fit(xs [][]float64, labels []int) error {
+	if len(xs) == 0 || len(xs) != len(labels) {
+		return fmt.Errorf("edgedrift: Fit needs matched non-empty samples, got %d/%d", len(xs), len(labels))
+	}
+	var tail stats.Running
+	for i, x := range xs {
+		_, score := m.model.Predict(x)
+		if i >= len(xs)/2 {
+			tail.Observe(score)
+		}
+		if labels[i] < 0 || labels[i] >= m.opts.Classes {
+			return fmt.Errorf("edgedrift: label %d out of range [0,%d)", labels[i], m.opts.Classes)
+		}
+		m.model.Train(x, labels[i])
+	}
+	if m.opts.ErrorThreshold <= 0 {
+		z := m.opts.ZError
+		if z == 0 {
+			z = 2
+		}
+		theta := tail.Mean() + z*tail.Std()
+		// Rebuild the detector with the prequential threshold pinned.
+		cfg := m.det.Config()
+		cfg.ErrorThreshold = theta
+		det, err := core.New(m.model, cfg)
+		if err != nil {
+			return err
+		}
+		m.det = det
+	}
+	if err := m.det.Calibrate(xs, labels); err != nil {
+		return err
+	}
+	m.fit = true
+	return nil
+}
+
+// FitUnsupervised labels the initial data by k-means with C clusters
+// (the paper's §3.2 assumption for unlabelled deployments) and then
+// behaves like Fit. It returns the cluster labelling it used.
+func (m *Monitor) FitUnsupervised(xs [][]float64) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("edgedrift: FitUnsupervised needs samples")
+	}
+	labels := core.LabelsByKMeans(xs, m.opts.Classes, m.rng.Split())
+	if err := m.Fit(xs, labels); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// Process consumes one sample: it predicts a label, advances the drift
+// state machine, and (after a detection) drives the sequential model
+// reconstruction. It panics if Fit has not run.
+func (m *Monitor) Process(x []float64) Result {
+	if !m.fit {
+		panic("edgedrift: Process before Fit")
+	}
+	res := m.det.Process(x)
+	if m.opts.TrainDuringMonitor && res.Phase == Monitoring {
+		m.model.Train(x, res.Label)
+	}
+	return res
+}
+
+// Predict scores x without advancing the detector: it returns the
+// predicted class and the anomaly (reconstruction) score.
+func (m *Monitor) Predict(x []float64) (label int, score float64) {
+	return m.model.Predict(x)
+}
+
+// DriftEvents returns the 0-based indices of processed samples on which
+// drift was detected.
+func (m *Monitor) DriftEvents() []int { return m.det.DriftEvents() }
+
+// Reconstructions returns how many model rebuilds have completed.
+func (m *Monitor) Reconstructions() int { return m.det.Reconstructions() }
+
+// PhaseNow returns the current detector phase.
+func (m *Monitor) PhaseNow() Phase { return m.det.PhaseNow() }
+
+// Thresholds returns the active (θ_error, θ_drift) pair.
+func (m *Monitor) Thresholds() (errorThreshold, driftThreshold float64) {
+	return m.det.ThetaError(), m.det.ThetaDrift()
+}
+
+// MemoryBytes audits the retained state of model + detector — the
+// number that must fit the target device's RAM.
+func (m *Monitor) MemoryBytes() int { return m.det.MemoryBytes() }
+
+// SetOps attaches an operation counter to every compute kernel in the
+// monitor (nil detaches).
+func (m *Monitor) SetOps(c *OpCounter) { m.det.SetOps(c) }
+
+// Detector exposes the underlying core detector for advanced use
+// (stage-level op accounting, centroid inspection).
+func (m *Monitor) Detector() *core.Detector { return m.det }
+
+// Model exposes the underlying multi-instance model.
+func (m *Monitor) Model() *model.Multi { return m.model }
+
+// ScoreMetric re-exports for model configuration.
+type ScoreMetric = oselm.ScoreMetric

@@ -1,0 +1,71 @@
+package edgedrift_test
+
+import (
+	"fmt"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/synth"
+	"edgedrift/internal/rng"
+)
+
+// Example shows the full monitor lifecycle: fit on an initial window,
+// stream samples, and react to the drift detection.
+func Example() {
+	// Two-class concept that shifts suddenly at sample 1,000.
+	oldConcept := synth.NewGaussian([][]float64{{0, 0, 0}, {5, 5, 5}}, 0.3)
+	newConcept := synth.ShiftedGaussian(oldConcept, 4)
+	r := rng.New(7)
+	trainX, trainY := synth.TrainingSet(oldConcept, 300, r)
+	stream, err := synth.Generate(oldConcept, newConcept, 3000,
+		synth.Spec{Kind: synth.Sudden, Start: 1000}, r)
+	if err != nil {
+		panic(err)
+	}
+
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: 2, Inputs: 3, Hidden: 8, Window: 50, NRecon: 300, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := mon.Fit(trainX, trainY); err != nil {
+		panic(err)
+	}
+
+	for _, x := range stream.X {
+		mon.Process(x)
+	}
+	events := mon.DriftEvents()
+	fmt.Printf("drift events: %d\n", len(events))
+	fmt.Printf("first detection after ground truth (sample 1000): %v\n", events[0] >= 1000)
+	fmt.Printf("reconstructions completed: %d\n", mon.Reconstructions())
+	// Output:
+	// drift events: 1
+	// first detection after ground truth (sample 1000): true
+	// reconstructions completed: 1
+}
+
+// ExampleMonitor_FitUnsupervised labels the initial window with k-means
+// when no ground-truth labels exist (§3.2 of the paper).
+func ExampleMonitor_FitUnsupervised() {
+	concept := synth.NewGaussian([][]float64{{0, 0}, {6, 6}}, 0.3)
+	trainX, _ := synth.TrainingSet(concept, 200, rng.New(3))
+
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: 2, Inputs: 2, Hidden: 6, Window: 30, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	labels, err := mon.FitUnsupervised(trainX)
+	if err != nil {
+		panic(err)
+	}
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	fmt.Printf("clustered %d samples into %d classes\n", len(labels), len(distinct))
+	// Output:
+	// clustered 200 samples into 2 classes
+}

@@ -1,0 +1,3 @@
+module edgedrift
+
+go 1.22

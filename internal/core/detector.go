@@ -1,0 +1,590 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"edgedrift/internal/mat"
+	"edgedrift/internal/model"
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/stats"
+)
+
+// DistanceKind selects the centroid metric.
+type DistanceKind int
+
+const (
+	// L1 is the paper's metric (Algorithm 1 line 14).
+	L1 DistanceKind = iota
+	// L2 is the Euclidean alternative, used by the ablation benches.
+	L2
+)
+
+// String implements fmt.Stringer.
+func (d DistanceKind) String() string {
+	if d == L2 {
+		return "l2"
+	}
+	return "l1"
+}
+
+// CentroidUpdate selects how recent test centroids absorb new samples.
+type CentroidUpdate int
+
+const (
+	// RunningMean is the paper's Algorithm 1 line 12 rule.
+	RunningMean CentroidUpdate = iota
+	// EWMA weights newer samples more heavily (§3.2's "higher weight to a
+	// newer sample" remark); the weight is Config.EWMAGamma.
+	EWMA
+)
+
+// String implements fmt.Stringer.
+func (c CentroidUpdate) String() string {
+	if c == EWMA {
+		return "ewma"
+	}
+	return "running-mean"
+}
+
+// Phase is the detector's state-machine phase.
+type Phase int
+
+const (
+	// Monitoring: predicting normally, no open check window.
+	Monitoring Phase = iota
+	// Checking: a window is open and centroid distances accumulate.
+	Checking
+	// Reconstructing: a drift was detected and the model is being rebuilt.
+	Reconstructing
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Monitoring:
+		return "monitoring"
+	case Checking:
+		return "checking"
+	case Reconstructing:
+		return "reconstructing"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Stage identifies an instrumented compute stage, matching the rows of
+// the paper's Table 6.
+type Stage int
+
+const (
+	// StageLabelPrediction is Algorithm 1 line 6 (and 7).
+	StageLabelPrediction Stage = iota
+	// StageDistance is Algorithm 1 lines 12–14: the recent-centroid
+	// update and the summed centroid distance.
+	StageDistance
+	// StageRetrainNoPred is Algorithm 2 lines 8–9.
+	StageRetrainNoPred
+	// StageRetrainWithPred is Algorithm 2 lines 11–12.
+	StageRetrainWithPred
+	// StageCoordInit is Algorithm 3 (Init_Coord).
+	StageCoordInit
+	// StageCoordUpdate is Algorithm 4 (Update_Coord).
+	StageCoordUpdate
+	numStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageLabelPrediction:
+		return "label prediction"
+	case StageDistance:
+		return "distance computation"
+	case StageRetrainNoPred:
+		return "model retraining without label prediction"
+	case StageRetrainWithPred:
+		return "model retraining with label prediction"
+	case StageCoordInit:
+		return "label coordinates initialization"
+	case StageCoordUpdate:
+		return "label coordinates update"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Stages lists all instrumented stages in Table 6 order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Config parameterises the detector. Classes and Dims are inferred from
+// the model and training data at Calibrate time.
+type Config struct {
+	// Window is W, the number of samples accumulated before a drift
+	// decision (required, ≥ 1).
+	Window int
+	// ZDrift is z in Eq. 1 for θ_drift; 0 means 1 (the paper's choice).
+	ZDrift float64
+	// ZError calibrates θ_error as mean + ZError·std of training anomaly
+	// scores; 0 means 1. Ignored when ErrorThreshold is set.
+	ZError float64
+	// ErrorThreshold overrides the calibrated θ_error when > 0.
+	ErrorThreshold float64
+	// DriftThreshold overrides the calibrated θ_drift when > 0.
+	DriftThreshold float64
+	// NSearch is Algorithm 2's N_search (samples that refresh label
+	// coordinates by Init_Coord); 0 means 2·C+2.
+	NSearch int
+	// NUpdate is Algorithm 2's N_update (samples that refine coordinates
+	// by Update_Coord); 0 means a quarter of NRecon.
+	NUpdate int
+	// NRecon is Algorithm 2's N, the total samples a reconstruction
+	// consumes; 0 means 10·Window (and at least 100).
+	NRecon int
+	// Distance selects L1 (paper) or L2 centroid distance.
+	Distance DistanceKind
+	// Update selects RunningMean (paper) or EWMA recent centroids.
+	Update CentroidUpdate
+	// EWMAGamma is the new-sample weight when Update == EWMA; 0 means 0.05.
+	EWMAGamma float64
+	// ResetModelOnDrift resets each OS-ELM instance's learned state when
+	// a reconstruction starts. Default true (DefaultConfig); turning it
+	// off is the "continue sequential update" ablation.
+	ResetModelOnDrift bool
+	// ResetWindowState restores recent centroids to the trained centroids
+	// after a window closes without detecting drift (ablation; the
+	// pseudocode keeps them).
+	ResetWindowState bool
+	// AlwaysCheck opens windows unconditionally instead of gating on
+	// θ_error (ablation).
+	AlwaysCheck bool
+}
+
+// DefaultConfig returns the paper-faithful configuration for a given
+// window size.
+func DefaultConfig(window int) Config {
+	return Config{
+		Window:            window,
+		ZDrift:            1,
+		ZError:            1,
+		ResetModelOnDrift: true,
+	}
+}
+
+func (c Config) withDefaults(classes int) (Config, error) {
+	if c.Window <= 0 {
+		return c, errors.New("core: Window must be ≥ 1")
+	}
+	if c.ZDrift == 0 {
+		c.ZDrift = 1
+	}
+	if c.ZError == 0 {
+		c.ZError = 1
+	}
+	if c.NRecon == 0 {
+		c.NRecon = 10 * c.Window
+		if c.NRecon < 100 {
+			c.NRecon = 100
+		}
+	}
+	if c.NSearch == 0 {
+		c.NSearch = 2*classes + 2
+	}
+	if c.NUpdate == 0 {
+		c.NUpdate = c.NRecon / 4
+	}
+	if c.NSearch > c.NRecon || c.NUpdate > c.NRecon {
+		return c, fmt.Errorf("core: NSearch (%d) and NUpdate (%d) must not exceed NRecon (%d)", c.NSearch, c.NUpdate, c.NRecon)
+	}
+	if c.Update == EWMA && c.EWMAGamma == 0 {
+		c.EWMAGamma = 0.05
+	}
+	if c.EWMAGamma < 0 || c.EWMAGamma > 1 {
+		return c, fmt.Errorf("core: EWMAGamma %v out of [0,1]", c.EWMAGamma)
+	}
+	return c, nil
+}
+
+// Result describes the outcome of processing one sample.
+type Result struct {
+	// Label is the class predicted for the sample.
+	Label int
+	// Score is the anomaly (reconstruction) score of the winning
+	// instance; it is 0 while reconstructing with coordinate labels.
+	Score float64
+	// Phase is the detector phase after processing the sample.
+	Phase Phase
+	// DriftDetected is true exactly on the sample whose window close
+	// crossed θ_drift.
+	DriftDetected bool
+	// Dist is the current summed centroid distance (meaningful while
+	// checking).
+	Dist float64
+}
+
+// Detector is the proposed sequential drift detector bound to a
+// multi-instance discriminative model. It is not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	model   *model.Multi
+	classes int
+	dims    int
+
+	trainCor [][]float64 // trained centroids, one per class
+	cor      [][]float64 // recent test centroids
+	num      []int       // per-class sample counts backing the running mean
+	baseNum  []int       // counts at calibration, for ResetWindowState
+
+	thetaError float64
+	thetaDrift float64
+
+	drift bool
+	check bool
+	win   int
+	dist  float64
+
+	// Reconstruction state. The threshold re-estimators are Welford
+	// accumulators, not sample buffers — reconstruction must stay O(1) in
+	// memory like everything else in the method.
+	count       int
+	reconDists  stats.Running // coordinate distances, predicted-label phase
+	reconScores stats.Running // model scores, predicted-label phase
+	starve      []int         // consecutive lost assignments per coordinate
+
+	samplesSeen int
+	driftEvents []int // sample indices (0-based) where drift was detected
+	reconsDone  int
+
+	calibrated bool
+
+	ops       *opcount.Counter
+	stageOps  [numStages]opcount.Counter
+	stageN    [numStages]uint64
+	scoreHist *stats.Running // anomaly scores seen while monitoring (diagnostics)
+}
+
+// New binds a detector to a model. Calibrate must be called before
+// Process.
+func New(m *model.Multi, cfg Config) (*Detector, error) {
+	c, err := cfg.withDefaults(m.Classes())
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:       c,
+		model:     m,
+		classes:   m.Classes(),
+		dims:      m.Config().Inputs,
+		scoreHist: &stats.Running{},
+	}, nil
+}
+
+// Config returns the defaulted configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Model returns the bound discriminative model.
+func (d *Detector) Model() *model.Multi { return d.model }
+
+// SetOps attaches an operation counter to the detector and its model.
+func (d *Detector) SetOps(c *opcount.Counter) {
+	d.ops = c
+	d.model.SetOps(c)
+}
+
+// ThetaError and ThetaDrift return the active thresholds.
+func (d *Detector) ThetaError() float64 { return d.thetaError }
+
+// ThetaDrift returns the active drift threshold θ_drift.
+func (d *Detector) ThetaDrift() float64 { return d.thetaDrift }
+
+// PhaseNow returns the current phase.
+func (d *Detector) PhaseNow() Phase {
+	switch {
+	case d.drift:
+		return Reconstructing
+	case d.check:
+		return Checking
+	default:
+		return Monitoring
+	}
+}
+
+// ScoreStats returns the running count, mean and standard deviation of
+// the anomaly scores observed while monitoring — the live counterpart of
+// the θ_error calibration, useful for operational dashboards.
+func (d *Detector) ScoreStats() (n int, mean, std float64) {
+	return d.scoreHist.N(), d.scoreHist.Mean(), d.scoreHist.Std()
+}
+
+// DriftEvents returns the 0-based indices of samples on which drift was
+// detected, in order.
+func (d *Detector) DriftEvents() []int {
+	out := make([]int, len(d.driftEvents))
+	copy(out, d.driftEvents)
+	return out
+}
+
+// Reconstructions returns how many reconstructions have completed.
+func (d *Detector) Reconstructions() int { return d.reconsDone }
+
+// SamplesSeen returns the number of Process calls.
+func (d *Detector) SamplesSeen() int { return d.samplesSeen }
+
+// TrainedCentroid returns a copy of class c's trained centroid.
+func (d *Detector) TrainedCentroid(c int) []float64 { return mat.CopyVec(d.trainCor[c]) }
+
+// RecentCentroid returns a copy of class c's recent test centroid.
+func (d *Detector) RecentCentroid(c int) []float64 { return mat.CopyVec(d.cor[c]) }
+
+// StageOps returns the accumulated operation counts and invocation count
+// for a stage.
+func (d *Detector) StageOps(s Stage) (opcount.Counter, uint64) {
+	return d.stageOps[s], d.stageN[s]
+}
+
+// distance returns the configured metric between two vectors, counting
+// ops.
+func (d *Detector) distance(a, b []float64) float64 {
+	n := len(a)
+	switch d.cfg.Distance {
+	case L2:
+		d.ops.AddMulAdd(n)
+		d.ops.AddAdd(n)
+		return mat.L2Dist(a, b)
+	default:
+		d.ops.AddAbs(n)
+		d.ops.AddAdd(n)
+		return mat.L1Dist(a, b)
+	}
+}
+
+// centroidDist is Algorithm 1 line 14: the summed distance between every
+// recent and trained centroid pair.
+func (d *Detector) centroidDist() float64 {
+	var s float64
+	for c := range d.cor {
+		s += d.distance(d.cor[c], d.trainCor[c])
+	}
+	return s
+}
+
+// Calibrate computes trained centroids, per-class counts and both
+// thresholds from the labelled training set, per §3.2 and Eq. 1. The
+// model must already be trained on the same data. Unsupervised callers
+// can obtain labels from k-means (see LabelsByKMeans in this package).
+func (d *Detector) Calibrate(xs [][]float64, labels []int) error {
+	if len(xs) == 0 || len(xs) != len(labels) {
+		return fmt.Errorf("core: calibration needs matched non-empty samples, got %d/%d", len(xs), len(labels))
+	}
+	if len(xs[0]) != d.dims {
+		return fmt.Errorf("core: sample dimension %d, want %d", len(xs[0]), d.dims)
+	}
+	d.trainCor = make([][]float64, d.classes)
+	d.cor = make([][]float64, d.classes)
+	d.num = make([]int, d.classes)
+	for c := range d.trainCor {
+		d.trainCor[c] = make([]float64, d.dims)
+		d.cor[c] = make([]float64, d.dims)
+	}
+	for i, x := range xs {
+		l := labels[i]
+		if l < 0 || l >= d.classes {
+			return fmt.Errorf("core: label %d out of range [0,%d)", l, d.classes)
+		}
+		d.num[l] = mat.RunningMeanUpdate(d.trainCor[l], d.num[l], x)
+	}
+	for c := range d.cor {
+		copy(d.cor[c], d.trainCor[c])
+		if d.num[c] == 0 {
+			return fmt.Errorf("core: class %d has no training samples", c)
+		}
+	}
+	d.baseNum = append([]int(nil), d.num...)
+
+	// Eq. 1: θ_drift from the distribution of distances between each
+	// training sample and "the centroid of its predicted label" (§3.4) —
+	// predicted, not given: ambiguous samples land near the centroid the
+	// model assigns them to, keeping the threshold tight.
+	dists := make([]float64, len(xs))
+	for i, x := range xs {
+		pred, _ := d.model.Predict(x)
+		dists[i] = d.distance(x, d.trainCor[pred])
+	}
+	mu, sigma := stats.MeanStd(dists)
+	if d.cfg.DriftThreshold > 0 {
+		d.thetaDrift = d.cfg.DriftThreshold
+	} else {
+		d.thetaDrift = mu + d.cfg.ZDrift*sigma
+	}
+
+	// θ_error from the model's anomaly scores on the training set.
+	if d.cfg.ErrorThreshold > 0 {
+		d.thetaError = d.cfg.ErrorThreshold
+	} else {
+		scores := make([]float64, len(xs))
+		for i, x := range xs {
+			_, scores[i] = d.model.Predict(x)
+		}
+		m2, s2 := stats.MeanStd(scores)
+		d.thetaError = m2 + d.cfg.ZError*s2
+	}
+
+	d.drift, d.check, d.win, d.dist, d.count = false, false, 0, 0, 0
+	d.reconDists.Reset()
+	d.reconScores.Reset()
+	d.calibrated = true
+	return nil
+}
+
+// stage wraps fn with per-stage op accounting.
+func (d *Detector) stage(s Stage, fn func()) {
+	if d.ops == nil {
+		d.stageN[s]++
+		fn()
+		return
+	}
+	before := *d.ops
+	fn()
+	d.stageOps[s].AddCounter(d.ops.Sub(before))
+	d.stageN[s]++
+}
+
+// Process consumes one sample and advances the state machine
+// (Algorithm 1). It panics if Calibrate has not run.
+func (d *Detector) Process(x []float64) Result {
+	if !d.calibrated {
+		panic("core: Process before Calibrate")
+	}
+	if len(x) != d.dims {
+		panic(fmt.Sprintf("core: sample dimension %d, want %d", len(x), d.dims))
+	}
+	d.samplesSeen++
+
+	if d.drift {
+		return d.reconstructStep(x)
+	}
+
+	var label int
+	var score float64
+	d.stage(StageLabelPrediction, func() {
+		label, score = d.model.Predict(x)
+	})
+	d.scoreHist.Observe(score)
+
+	res := Result{Label: label, Score: score}
+
+	if !d.check && (d.cfg.AlwaysCheck || score >= d.thetaError) {
+		d.ops.AddCmp(1)
+		d.check = true
+		d.win = 0
+	} else if !d.check {
+		d.ops.AddCmp(1)
+	}
+
+	if d.check && d.win < d.cfg.Window {
+		d.stage(StageDistance, func() {
+			d.updateRecent(label, x)
+			d.dist = d.centroidDist()
+		})
+		d.win++
+		if d.win == d.cfg.Window {
+			d.ops.AddCmp(1)
+			if d.dist >= d.thetaDrift {
+				d.drift = true
+				d.driftEvents = append(d.driftEvents, d.samplesSeen-1)
+				d.beginReconstruction()
+				res.DriftDetected = true
+			} else if d.cfg.ResetWindowState {
+				d.resetRecent()
+			}
+			d.check = false
+		}
+	}
+
+	res.Dist = d.dist
+	res.Phase = d.PhaseNow()
+	return res
+}
+
+// updateRecent applies the configured recent-centroid update for label.
+func (d *Detector) updateRecent(label int, x []float64) {
+	switch d.cfg.Update {
+	case EWMA:
+		mat.EWMAUpdate(d.cor[label], d.cfg.EWMAGamma, x)
+		d.num[label]++
+		d.ops.AddMulAdd(2 * d.dims)
+	default:
+		d.num[label] = mat.RunningMeanUpdate(d.cor[label], d.num[label], x)
+		d.ops.AddMulAdd(d.dims)
+		d.ops.AddDiv(d.dims)
+	}
+}
+
+// resetRecent restores recent centroids and counts to their calibrated
+// values (ResetWindowState ablation).
+func (d *Detector) resetRecent() {
+	for c := range d.cor {
+		copy(d.cor[c], d.trainCor[c])
+	}
+	copy(d.num, d.baseNum)
+	d.dist = 0
+}
+
+// TriggerReconstruction forces the detector into the Algorithm 2
+// reconstruction mode, as if a drift had just been detected on the most
+// recent sample. It exists so external detection signals (the batch
+// baselines, an operator command) can drive the same adaptation path the
+// internal detector uses.
+func (d *Detector) TriggerReconstruction() {
+	if !d.calibrated {
+		panic("core: TriggerReconstruction before Calibrate")
+	}
+	if d.drift {
+		return // already reconstructing
+	}
+	d.drift = true
+	d.check = false
+	d.driftEvents = append(d.driftEvents, d.samplesSeen-1)
+	d.beginReconstruction()
+}
+
+// MemoryBytes audits the detector's retained state: the discriminative
+// model plus two centroid sets, counts and O(1) accumulators — the
+// quantity the paper's Table 4 compares against the batch methods'
+// buffers.
+func (d *Detector) MemoryBytes() int {
+	const f = 8
+	centroids := 2 * d.classes * d.dims * f // trained + recent
+	counts := 2 * d.classes * 8             // num + baseNum
+	scalars := 16 * f                       // thresholds, window state, accumulators
+	return d.model.MemoryBytes() + centroids + counts + scalars
+}
+
+// beginReconstruction transitions into Algorithm 2. The per-class counts
+// are reset to 1 so the running-mean coordinates can actually follow the
+// new concept: counts inherited from training (thousands of samples)
+// would freeze the coordinates for the whole reconstruction. The paper's
+// pseudocode leaves num untouched, but with that reading Update_Coord
+// moves each coordinate by at most N_update/num — effectively nothing —
+// and the rebuilt model would re-detect the same drift forever.
+func (d *Detector) beginReconstruction() {
+	d.count = 0
+	d.reconDists.Reset()
+	d.reconScores.Reset()
+	if d.starve == nil {
+		d.starve = make([]int, d.classes)
+	}
+	for c := range d.num {
+		d.num[c] = 1
+		d.starve[c] = 0
+	}
+	if d.cfg.ResetModelOnDrift {
+		d.model.Reset()
+	}
+}

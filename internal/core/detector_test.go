@@ -1,0 +1,479 @@
+package core
+
+import (
+	"testing"
+
+	"edgedrift/internal/model"
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/rng"
+)
+
+const (
+	testDims    = 4
+	testClasses = 2
+)
+
+// sample draws one point of class c, optionally shifted (the drifted
+// concept moves every class by +shift per dimension).
+func sample(r *rng.Rand, c int, shift float64) []float64 {
+	x := make([]float64, testDims)
+	base := float64(c) * 5
+	for j := range x {
+		x[j] = r.Normal(base+shift, 0.3)
+	}
+	return x
+}
+
+// trainSet draws n alternating-class samples.
+func trainSet(r *rng.Rand, n int, shift float64) ([][]float64, []int) {
+	xs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range xs {
+		labels[i] = i % testClasses
+		xs[i] = sample(r, labels[i], shift)
+	}
+	return xs, labels
+}
+
+// newCalibrated builds a trained, calibrated detector over the two-blob
+// concept.
+func newCalibrated(t *testing.T, seed uint64, cfg Config) (*Detector, *rng.Rand) {
+	t.Helper()
+	m, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1000)
+	xs, labels := trainSet(r, 400, 0)
+	if err := m.InitSequential(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Calibrate(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	return d, r
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	m, _ := model.New(model.Config{Classes: 2, Inputs: 2, Hidden: 2}, rng.New(1))
+	if _, err := New(m, Config{Window: 0}); err == nil {
+		t.Fatal("expected error for zero window")
+	}
+	if _, err := New(m, Config{Window: 10, NSearch: 200, NRecon: 100}); err == nil {
+		t.Fatal("expected error for NSearch > NRecon")
+	}
+	if _, err := New(m, Config{Window: 10, EWMAGamma: 2}); err == nil {
+		t.Fatal("expected error for bad gamma")
+	}
+	d, err := New(m, DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Config()
+	if c.ZDrift != 1 || c.ZError != 1 || c.NRecon != 500 || c.NSearch != 6 || c.NUpdate != 125 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if !c.ResetModelOnDrift {
+		t.Fatal("DefaultConfig should reset model on drift")
+	}
+}
+
+func TestCalibrateComputesCentroidsAndThresholds(t *testing.T) {
+	d, _ := newCalibrated(t, 2, DefaultConfig(50))
+	c0 := d.TrainedCentroid(0)
+	c1 := d.TrainedCentroid(1)
+	for j := 0; j < testDims; j++ {
+		if c0[j] < -0.2 || c0[j] > 0.2 {
+			t.Fatalf("class-0 centroid %v not near 0", c0)
+		}
+		if c1[j] < 4.8 || c1[j] > 5.2 {
+			t.Fatalf("class-1 centroid %v not near 5", c1)
+		}
+	}
+	if d.ThetaDrift() <= 0 || d.ThetaError() <= 0 {
+		t.Fatalf("thresholds: drift=%v error=%v", d.ThetaDrift(), d.ThetaError())
+	}
+	// Recent centroids start equal to trained ones.
+	r0 := d.RecentCentroid(0)
+	for j := range r0 {
+		if r0[j] != c0[j] {
+			t.Fatal("recent centroid must start at trained centroid")
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m, _ := model.New(model.Config{Classes: 2, Inputs: 2, Hidden: 2}, rng.New(3))
+	d, _ := New(m, DefaultConfig(10))
+	if err := d.Calibrate(nil, nil); err == nil {
+		t.Fatal("expected error for empty calibration")
+	}
+	if err := d.Calibrate([][]float64{{1}}, []int{0}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := d.Calibrate([][]float64{{1, 2}}, []int{5}); err == nil {
+		t.Fatal("expected label range error")
+	}
+	// A class with no samples is an error (its centroid is undefined).
+	if err := d.Calibrate([][]float64{{1, 2}, {1, 2}}, []int{0, 0}); err == nil {
+		t.Fatal("expected empty-class error")
+	}
+}
+
+func TestProcessPanicsBeforeCalibrate(t *testing.T) {
+	m, _ := model.New(model.Config{Classes: 2, Inputs: 2, Hidden: 2}, rng.New(4))
+	d, _ := New(m, DefaultConfig(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Process([]float64{1, 2})
+}
+
+func TestProcessPanicsOnBadDims(t *testing.T) {
+	d, _ := newCalibrated(t, 5, DefaultConfig(50))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Process([]float64{1})
+}
+
+func TestStationaryStreamNoDrift(t *testing.T) {
+	d, r := newCalibrated(t, 6, DefaultConfig(50))
+	correct := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		c := i % testClasses
+		res := d.Process(sample(r, c, 0))
+		if res.DriftDetected {
+			t.Fatalf("false drift detection at sample %d", i)
+		}
+		if res.Label == c {
+			correct++
+		}
+	}
+	if len(d.DriftEvents()) != 0 {
+		t.Fatalf("drift events on stationary stream: %v", d.DriftEvents())
+	}
+	if acc := float64(correct) / n; acc < 0.97 {
+		t.Fatalf("stationary accuracy %v", acc)
+	}
+	if d.SamplesSeen() != n {
+		t.Fatalf("SamplesSeen = %d", d.SamplesSeen())
+	}
+}
+
+func TestSuddenDriftDetectedAndRecovered(t *testing.T) {
+	cfg := DefaultConfig(50)
+	d, r := newCalibrated(t, 7, cfg)
+	// Pre-drift phase.
+	for i := 0; i < 300; i++ {
+		d.Process(sample(r, i%testClasses, 0))
+	}
+	if len(d.DriftEvents()) != 0 {
+		t.Fatal("premature drift")
+	}
+	// Sudden drift: both classes shift by +5 per dimension.
+	detectedAt := -1
+	for i := 0; i < 3000; i++ {
+		res := d.Process(sample(r, i%testClasses, 5))
+		if res.DriftDetected && detectedAt == -1 {
+			detectedAt = i
+		}
+	}
+	if detectedAt == -1 {
+		t.Fatal("drift never detected")
+	}
+	if detectedAt > 500 {
+		t.Fatalf("drift detected only after %d samples", detectedAt)
+	}
+	if d.Reconstructions() < 1 {
+		t.Fatal("reconstruction did not complete")
+	}
+	if d.PhaseNow() == Reconstructing {
+		t.Fatalf("phase = %v after recovery", d.PhaseNow())
+	}
+	// After recovery, the rebuilt model separates the drifted classes.
+	agree, scored := 0, 0
+	const probe = 400
+	firstLabelOfClass := [2]int{-1, -1}
+	for i := 0; i < probe; i++ {
+		c := i % testClasses
+		res := d.Process(sample(r, c, 5))
+		if res.Phase == Reconstructing {
+			continue
+		}
+		scored++
+		// Labels after reconstruction are cluster ids, not original
+		// labels; check consistency instead of identity.
+		if firstLabelOfClass[c] == -1 {
+			firstLabelOfClass[c] = res.Label
+		}
+		if res.Label == firstLabelOfClass[c] {
+			agree++
+		}
+	}
+	if scored < probe/2 {
+		t.Fatalf("only %d/%d probe samples scored outside reconstruction", scored, probe)
+	}
+	if frac := float64(agree) / float64(scored); frac < 0.95 {
+		t.Fatalf("post-recovery label consistency %v (%d/%d)", frac, agree, scored)
+	}
+	if firstLabelOfClass[0] == firstLabelOfClass[1] {
+		t.Fatal("rebuilt model collapsed both classes to one label")
+	}
+}
+
+func TestLargerWindowDetectsLater(t *testing.T) {
+	delayFor := func(w int) int {
+		cfg := DefaultConfig(w)
+		d, r := newCalibrated(t, 8, cfg)
+		for i := 0; i < 200; i++ {
+			d.Process(sample(r, i%testClasses, 0))
+		}
+		for i := 0; i < 5000; i++ {
+			if res := d.Process(sample(r, i%testClasses, 5)); res.DriftDetected {
+				return i
+			}
+		}
+		t.Fatalf("window %d never detected", w)
+		return -1
+	}
+	small, large := delayFor(20), delayFor(200)
+	if small >= large {
+		t.Fatalf("delay(W=20)=%d should be < delay(W=200)=%d", small, large)
+	}
+}
+
+func TestCheckGatingOnThetaError(t *testing.T) {
+	d, r := newCalibrated(t, 9, DefaultConfig(50))
+	// In-distribution sample with a score below θ_error must not open a
+	// window; find one by probing.
+	for i := 0; i < 50; i++ {
+		x := sample(r, 0, 0)
+		_, score := d.Model().Predict(x)
+		if score < d.ThetaError() {
+			res := d.Process(x)
+			if res.Phase != Monitoring {
+				t.Fatalf("low-score sample opened a window (score %v < θ %v)", score, d.ThetaError())
+			}
+			break
+		}
+	}
+	// A wildly anomalous sample must open one.
+	weird := make([]float64, testDims)
+	for j := range weird {
+		weird[j] = 50
+	}
+	res := d.Process(weird)
+	if res.Phase != Checking {
+		t.Fatalf("anomalous sample did not open a window, phase %v", res.Phase)
+	}
+}
+
+func TestAlwaysCheckOpensWindowImmediately(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.AlwaysCheck = true
+	d, r := newCalibrated(t, 10, cfg)
+	res := d.Process(sample(r, 0, 0))
+	if res.Phase != Checking {
+		t.Fatalf("AlwaysCheck: phase %v after first sample", res.Phase)
+	}
+}
+
+func TestResetWindowStateRestoresCentroids(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.AlwaysCheck = true
+	cfg.ResetWindowState = true
+	// A huge manual threshold so windows never fire.
+	cfg.DriftThreshold = 1e9
+	d, r := newCalibrated(t, 11, cfg)
+	before := d.RecentCentroid(0)
+	// Run a full window of slightly offset data, then one more sample to
+	// confirm state was restored at the close.
+	for i := 0; i < 5; i++ {
+		d.Process(sample(r, 0, 1))
+	}
+	after := d.RecentCentroid(0)
+	for j := range before {
+		if before[j] != after[j] {
+			t.Fatalf("window close did not restore centroid: %v vs %v", before, after)
+		}
+	}
+}
+
+func TestEWMAUpdateMode(t *testing.T) {
+	cfg := DefaultConfig(30)
+	cfg.Update = EWMA
+	cfg.EWMAGamma = 0.2
+	d, r := newCalibrated(t, 12, cfg)
+	for i := 0; i < 200; i++ {
+		d.Process(sample(r, i%testClasses, 0))
+	}
+	// EWMA recent centroids should adapt quickly to a shift.
+	detected := false
+	for i := 0; i < 2000 && !detected; i++ {
+		detected = d.Process(sample(r, i%testClasses, 5)).DriftDetected
+	}
+	if !detected {
+		t.Fatal("EWMA mode never detected the drift")
+	}
+}
+
+func TestDriftEventsAreCopies(t *testing.T) {
+	d, r := newCalibrated(t, 13, DefaultConfig(20))
+	for i := 0; i < 100; i++ {
+		d.Process(sample(r, i%testClasses, 0))
+	}
+	ev := d.DriftEvents()
+	if len(ev) != 0 {
+		t.Fatal("unexpected events")
+	}
+	ev = append(ev, 42)
+	if len(d.DriftEvents()) != 0 {
+		t.Fatal("DriftEvents leaked internal slice")
+	}
+}
+
+func TestStageOpsAccumulate(t *testing.T) {
+	d, r := newCalibrated(t, 14, DefaultConfig(20))
+	var ops opcount.Counter
+	d.SetOps(&ops)
+	for i := 0; i < 50; i++ {
+		d.Process(sample(r, i%testClasses, 0))
+	}
+	pred, n := d.StageOps(StageLabelPrediction)
+	if n != 50 {
+		t.Fatalf("label-prediction stage ran %d times, want 50", n)
+	}
+	if pred.MulAdd == 0 || pred.Exp == 0 {
+		t.Fatalf("label-prediction ops empty: %+v", pred)
+	}
+	// Force a drift so reconstruction stages run.
+	for i := 0; i < 3000; i++ {
+		d.Process(sample(r, i%testClasses, 6))
+		if d.Reconstructions() > 0 {
+			break
+		}
+	}
+	if d.Reconstructions() == 0 {
+		t.Fatal("no reconstruction happened")
+	}
+	for _, s := range []Stage{StageCoordInit, StageCoordUpdate, StageRetrainNoPred, StageRetrainWithPred} {
+		if _, n := d.StageOps(s); n == 0 {
+			t.Fatalf("stage %v never ran", s)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if L1.String() != "l1" || L2.String() != "l2" {
+		t.Fatal("DistanceKind strings")
+	}
+	if RunningMean.String() != "running-mean" || EWMA.String() != "ewma" {
+		t.Fatal("CentroidUpdate strings")
+	}
+	if Monitoring.String() != "monitoring" || Checking.String() != "checking" || Reconstructing.String() != "reconstructing" {
+		t.Fatal("Phase strings")
+	}
+	if Phase(9).String() == "" || Stage(9).String() == "" {
+		t.Fatal("unknown enum strings")
+	}
+	want := []string{
+		"label prediction",
+		"distance computation",
+		"model retraining without label prediction",
+		"model retraining with label prediction",
+		"label coordinates initialization",
+		"label coordinates update",
+	}
+	for i, s := range Stages() {
+		if s.String() != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, s, want[i])
+		}
+	}
+}
+
+func TestLabelsByKMeans(t *testing.T) {
+	r := rng.New(15)
+	xs, truth := trainSet(r, 200, 0)
+	labels := LabelsByKMeans(xs, testClasses, rng.New(16))
+	if len(labels) != len(xs) {
+		t.Fatalf("labels length %d", len(labels))
+	}
+	// Clustering must be consistent with the true partition up to label
+	// permutation.
+	perm := map[int]int{}
+	agree := 0
+	for i, l := range labels {
+		if want, ok := perm[l]; ok {
+			if want == truth[i] {
+				agree++
+			}
+		} else {
+			perm[l] = truth[i]
+			agree++
+		}
+	}
+	if float64(agree)/float64(len(xs)) < 0.98 {
+		t.Fatalf("k-means labelling agreement %v", float64(agree)/float64(len(xs)))
+	}
+}
+
+func TestL2DistanceMode(t *testing.T) {
+	cfg := DefaultConfig(30)
+	cfg.Distance = L2
+	d, r := newCalibrated(t, 17, cfg)
+	for i := 0; i < 100; i++ {
+		if d.Process(sample(r, i%testClasses, 0)).DriftDetected {
+			t.Fatal("false positive in L2 mode")
+		}
+	}
+	detected := false
+	for i := 0; i < 3000 && !detected; i++ {
+		detected = d.Process(sample(r, i%testClasses, 5)).DriftDetected
+	}
+	if !detected {
+		t.Fatal("L2 mode never detected drift")
+	}
+}
+
+// BenchmarkProcessMonitoring measures the steady-state per-sample cost of
+// the full pipeline (prediction + gate) in the NSL-KDD configuration.
+func BenchmarkProcessMonitoring(b *testing.B) {
+	m, err := model.New(model.Config{Classes: 2, Inputs: 38, Hidden: 22, Ridge: 1e-2}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	xs := make([][]float64, 400)
+	labels := make([]int, 400)
+	for i := range xs {
+		x := make([]float64, 38)
+		r.FillNorm(x, float64(i%2)*3, 0.3)
+		xs[i] = x
+		labels[i] = i % 2
+	}
+	if err := m.InitSequential(xs, labels); err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(m, DefaultConfig(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Calibrate(xs, labels); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(xs[i%len(xs)])
+	}
+}

@@ -1,0 +1,37 @@
+// Package core implements the paper's contribution: a fully sequential,
+// centroid-based concept-drift detection method coupled to the
+// multi-instance OS-ELM discriminative model, plus the drift-triggered
+// model reconstruction procedure.
+//
+// The detector (Algorithm 1) keeps, per class label, the centroid of the
+// training data ("trained centroid") and a sequentially updated centroid
+// of recent test data ("recent centroid"). When the discriminative model's
+// anomaly score exceeds θ_error, a window of W samples opens; within it
+// each sample moves the recent centroid of its predicted label by the
+// running-mean rule, and the summed L1 distance between recent and trained
+// centroids is compared against θ_drift (Eq. 1: μ + z·σ of the training
+// samples' distances to their class centroid) when the window closes.
+//
+// A detection switches the detector into reconstruction mode
+// (Algorithm 2): the first N_search samples re-seed label coordinates by a
+// k-means++-like spread maximisation (Algorithm 3), the first N_update
+// samples refine them by sequential k-means (Algorithm 4), the first N/2
+// samples retrain the (reset) model with nearest-coordinate labels, and
+// the remainder up to N retrain it with its own predicted labels. All of
+// it is strictly per-sample computation over O(C·D + H²) state — nothing
+// is buffered — which is the property that fits the method in the
+// 264 kB of a Raspberry Pi Pico.
+//
+// Deviations from the paper's pseudocode, chosen for well-definedness and
+// noted inline:
+//
+//   - Algorithm 1 line 5 would skip label prediction entirely while a
+//     check window is open, leaving the label c of line 12 stale. §3.2 of
+//     the paper states centroids are updated "based on each test sample
+//     and its predicted label", so prediction stays active every sample
+//     (the accuracy traces of Figure 4 also require a per-sample label).
+//   - Algorithm 2 guards lines 7–9 (count < N/2) and 10–12 (count < N)
+//     are treated as exclusive ranges; taken literally a sample in the
+//     first half would be trained twice. Table 6 times the two retraining
+//     modes as alternatives, which the exclusive reading matches.
+package core

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"edgedrift/internal/model"
+	"edgedrift/internal/rng"
+)
+
+func newCalibratedEnsemble(t *testing.T, seed uint64, windows []int, quorum int) (*MultiWindow, *rng.Rand) {
+	t.Helper()
+	m, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1000)
+	xs, labels := trainSet(r, 400, 0)
+	if err := m.InitSequential(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	mw, err := NewMultiWindow(m, windows, quorum, Config{ResetModelOnDrift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Calibrate(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	return mw, r
+}
+
+func TestNewMultiWindowValidation(t *testing.T) {
+	m, _ := model.New(model.Config{Classes: 2, Inputs: 2, Hidden: 2}, rng.New(1))
+	if _, err := NewMultiWindow(m, nil, 1, Config{}); err == nil {
+		t.Fatal("expected error for no windows")
+	}
+	if _, err := NewMultiWindow(m, []int{10}, 0, Config{}); err == nil {
+		t.Fatal("expected error for zero quorum")
+	}
+	if _, err := NewMultiWindow(m, []int{10}, 2, Config{}); err == nil {
+		t.Fatal("expected error for quorum above member count")
+	}
+	mw, err := NewMultiWindow(m, []int{10, 50}, 1, Config{ResetModelOnDrift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range mw.Members() {
+		if d.Config().ResetModelOnDrift {
+			t.Fatal("members must not reset the shared model unilaterally")
+		}
+	}
+}
+
+func TestMultiWindowStationaryNoDrift(t *testing.T) {
+	mw, r := newCalibratedEnsemble(t, 20, []int{20, 60}, 2)
+	for i := 0; i < 1500; i++ {
+		if res := mw.Process(sample(r, i%testClasses, 0)); res.DriftDetected {
+			t.Fatalf("false ensemble detection at %d", i)
+		}
+	}
+	if len(mw.DriftEvents()) != 0 {
+		t.Fatalf("events: %v", mw.DriftEvents())
+	}
+}
+
+func TestMultiWindowDetectsSuddenDrift(t *testing.T) {
+	mw, r := newCalibratedEnsemble(t, 21, []int{20, 60}, 2)
+	for i := 0; i < 300; i++ {
+		mw.Process(sample(r, i%testClasses, 0))
+	}
+	detected := -1
+	for i := 0; i < 4000; i++ {
+		res := mw.Process(sample(r, i%testClasses, 5))
+		if res.DriftDetected && detected == -1 {
+			detected = i
+		}
+	}
+	if detected == -1 {
+		t.Fatal("ensemble never detected drift")
+	}
+	if len(mw.DriftEvents()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// All members should be re-armed and monitoring (or at worst
+	// checking) afterwards.
+	for i, d := range mw.Members() {
+		if d.PhaseNow() == Reconstructing {
+			t.Fatalf("member %d stuck reconstructing", i)
+		}
+	}
+}
+
+func TestMultiWindowQuorumVeto(t *testing.T) {
+	// Quorum 2 with very different windows: a short burst of anomalies
+	// long enough to fire W=10 but not W=500 must be vetoed.
+	mw, r := newCalibratedEnsemble(t, 22, []int{10, 500}, 2)
+	for i := 0; i < 200; i++ {
+		mw.Process(sample(r, i%testClasses, 0))
+	}
+	// 30 drifted samples, then back to normal (a transient, not a drift).
+	for i := 0; i < 30; i++ {
+		if res := mw.Process(sample(r, i%testClasses, 5)); res.DriftDetected {
+			t.Fatalf("ensemble fired on transient at %d", i)
+		}
+	}
+	for i := 0; i < 600; i++ {
+		if res := mw.Process(sample(r, i%testClasses, 0)); res.DriftDetected {
+			t.Fatalf("ensemble fired after transient ended, sample %d", i)
+		}
+	}
+	if len(mw.DriftEvents()) != 0 {
+		t.Fatalf("transient produced events: %v", mw.DriftEvents())
+	}
+}
+
+func TestMultiWindowSingleMemberBehavesLikeDetector(t *testing.T) {
+	mw, r := newCalibratedEnsemble(t, 23, []int{40}, 1)
+	for i := 0; i < 200; i++ {
+		mw.Process(sample(r, i%testClasses, 0))
+	}
+	detected := false
+	for i := 0; i < 3000 && !detected; i++ {
+		detected = mw.Process(sample(r, i%testClasses, 5)).DriftDetected
+	}
+	if !detected {
+		t.Fatal("single-member ensemble never detected drift")
+	}
+}
+
+func TestMultiWindowAlarmHorizon(t *testing.T) {
+	// Detections of differently-sized windows never land on the same
+	// sample; the alarm horizon is what lets them reach quorum.
+	mw, r := newCalibratedEnsemble(t, 24, []int{10, 60}, 2)
+	for i := 0; i < 200; i++ {
+		mw.Process(sample(r, i%testClasses, 0))
+	}
+	if mw.Horizon != 60 {
+		t.Fatalf("default horizon %d, want max window 60", mw.Horizon)
+	}
+	detected := false
+	for i := 0; i < 3000 && !detected; i++ {
+		detected = mw.Process(sample(r, i%testClasses, 5)).DriftDetected
+	}
+	if !detected {
+		t.Fatal("ensemble with horizon never reached quorum")
+	}
+	// Every member contributed an alarm within one horizon of the
+	// ensemble event.
+	ev := mw.DriftEvents()
+	if len(ev) == 0 {
+		t.Fatal("no ensemble events recorded")
+	}
+	for i, d := range mw.Members() {
+		fired := d.DriftEvents()
+		ok := false
+		for _, f := range fired {
+			if ev[0]-f <= mw.Horizon && f <= ev[0] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("member %d has no alarm within the horizon of event %d (fires: %v)", i, ev[0], fired)
+		}
+	}
+}
+
+func TestMultiWindowVetoScrubsResult(t *testing.T) {
+	// A member-level detection without quorum must not leak into the
+	// aggregate result.
+	mw, r := newCalibratedEnsemble(t, 26, []int{10, 500}, 2)
+	for i := 0; i < 200; i++ {
+		mw.Process(sample(r, i%testClasses, 0))
+	}
+	for i := 0; i < 40; i++ {
+		res := mw.Process(sample(r, i%testClasses, 5))
+		if res.DriftDetected || res.Phase == Reconstructing {
+			t.Fatalf("vetoed detection leaked at %d: %+v", i, res)
+		}
+	}
+}

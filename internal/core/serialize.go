@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"edgedrift/internal/model"
+)
+
+// detMagic identifies a serialised detector bundle (version 1).
+var detMagic = [6]byte{'E', 'D', 'D', 'E', 'T', '1'}
+
+// ErrBadFormat reports a stream that is not a serialised detector of a
+// known version.
+var ErrBadFormat = errors.New("core: not a serialised detector (or unsupported version)")
+
+func putU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func getU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func putF64(w io.Writer, v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func getF64(r io.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func putF64s(w io.Writer, xs []float64) error {
+	for _, v := range xs {
+		if err := putF64(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getF64s(r io.Reader, dst []float64) error {
+	for i := range dst {
+		v, err := getF64(r)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// SaveState serialises the calibrated detector state: configuration,
+// centroids, counts and thresholds. The bound model is NOT included —
+// pair it with model.(*Multi).Save so host and device agree on both
+// halves. SaveState fails on an uncalibrated detector and on one that is
+// mid-reconstruction (transient state is deliberately not persistable).
+func (d *Detector) SaveState(w io.Writer) error {
+	if !d.calibrated {
+		return errors.New("core: SaveState before Calibrate")
+	}
+	if d.drift {
+		return errors.New("core: SaveState during reconstruction")
+	}
+	if _, err := w.Write(detMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint32{
+		uint32(d.classes), uint32(d.dims), uint32(d.cfg.Window),
+		uint32(d.cfg.NSearch), uint32(d.cfg.NUpdate), uint32(d.cfg.NRecon),
+		uint32(d.cfg.Distance), uint32(d.cfg.Update), boolU32(d.cfg.ResetModelOnDrift),
+		boolU32(d.cfg.ResetWindowState), boolU32(d.cfg.AlwaysCheck),
+		boolU32(d.check), uint32(d.win),
+	} {
+		if err := putU32(w, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{
+		d.cfg.ZDrift, d.cfg.ZError, d.cfg.EWMAGamma,
+		d.thetaError, d.thetaDrift, d.dist,
+	} {
+		if err := putF64(w, v); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < d.classes; c++ {
+		if err := putF64s(w, d.trainCor[c]); err != nil {
+			return err
+		}
+		if err := putF64s(w, d.cor[c]); err != nil {
+			return err
+		}
+		if err := putU32(w, uint32(d.num[c])); err != nil {
+			return err
+		}
+		if err := putU32(w, uint32(d.baseNum[c])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadState deserialises detector state written by SaveState and binds
+// it to the given model, which must match the saved class count and
+// dimension.
+func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
+	var got [6]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, fmt.Errorf("core: load header: %w", err)
+	}
+	if got != detMagic {
+		return nil, ErrBadFormat
+	}
+	var u [13]uint32
+	for i := range u {
+		v, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		u[i] = v
+	}
+	var f [6]float64
+	for i := range f {
+		v, err := getF64(r)
+		if err != nil {
+			return nil, err
+		}
+		f[i] = v
+	}
+	classes, dims := int(u[0]), int(u[1])
+	if m.Classes() != classes {
+		return nil, fmt.Errorf("core: model has %d classes, state has %d", m.Classes(), classes)
+	}
+	if m.Config().Inputs != dims {
+		return nil, fmt.Errorf("core: model dimension %d, state %d", m.Config().Inputs, dims)
+	}
+	cfg := Config{
+		Window:            int(u[2]),
+		NSearch:           int(u[3]),
+		NUpdate:           int(u[4]),
+		NRecon:            int(u[5]),
+		Distance:          DistanceKind(u[6]),
+		Update:            CentroidUpdate(u[7]),
+		ResetModelOnDrift: u[8] == 1,
+		ResetWindowState:  u[9] == 1,
+		AlwaysCheck:       u[10] == 1,
+		ZDrift:            f[0],
+		ZError:            f[1],
+		EWMAGamma:         f[2],
+	}
+	d, err := New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.thetaError, d.thetaDrift = f[3], f[4]
+	d.check = u[11] == 1
+	d.win = int(u[12])
+	d.dist = f[5]
+	d.trainCor = make([][]float64, classes)
+	d.cor = make([][]float64, classes)
+	d.num = make([]int, classes)
+	d.baseNum = make([]int, classes)
+	for c := 0; c < classes; c++ {
+		d.trainCor[c] = make([]float64, dims)
+		d.cor[c] = make([]float64, dims)
+		if err := getF64s(r, d.trainCor[c]); err != nil {
+			return nil, err
+		}
+		if err := getF64s(r, d.cor[c]); err != nil {
+			return nil, err
+		}
+		n, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		d.num[c] = int(n)
+		bn, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		d.baseNum[c] = int(bn)
+	}
+	d.calibrated = true
+	return d, nil
+}

@@ -1,0 +1,131 @@
+package nslkdd
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/mat"
+)
+
+func TestSizesMatchPaper(t *testing.T) {
+	ds := Generate(DefaultParams())
+	if len(ds.TrainX) != 2522 || len(ds.TrainY) != 2522 {
+		t.Fatalf("train size %d", len(ds.TrainX))
+	}
+	if len(ds.TestX) != 22701 || len(ds.TestY) != 22701 {
+		t.Fatalf("test size %d", len(ds.TestX))
+	}
+	if ds.DriftAt != 8332 {
+		t.Fatalf("drift at %d", ds.DriftAt)
+	}
+	for _, x := range ds.TrainX[:10] {
+		if len(x) != Features {
+			t.Fatalf("feature count %d", len(x))
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(DefaultParams())
+	b := Generate(DefaultParams())
+	for i := range a.TrainX {
+		if mat.L1Dist(a.TrainX[i], b.TrainX[i]) != 0 || a.TrainY[i] != b.TrainY[i] {
+			t.Fatalf("train diverges at %d", i)
+		}
+	}
+	for _, i := range []int{0, 5000, 8332, 8333, 20000} {
+		if mat.L1Dist(a.TestX[i], b.TestX[i]) != 0 {
+			t.Fatalf("test diverges at %d", i)
+		}
+	}
+	p := DefaultParams()
+	p.Seed = 2
+	c := Generate(p)
+	if mat.L1Dist(a.TrainX[0], c.TrainX[0]) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBothClassesPresent(t *testing.T) {
+	ds := Generate(DefaultParams())
+	var counts [2]int
+	for _, y := range ds.TrainY {
+		counts[y]++
+	}
+	if counts[LabelNormal] == 0 || counts[LabelNeptune] == 0 {
+		t.Fatalf("train class counts %v", counts)
+	}
+	frac := float64(counts[LabelNeptune]) / float64(len(ds.TrainY))
+	if math.Abs(frac-0.45) > 0.05 {
+		t.Fatalf("attack fraction %v, want ≈0.45", frac)
+	}
+}
+
+// classMeans returns per-class per-feature means of a slice of the
+// stream.
+func classMeans(xs [][]float64, ys []int) [2][]float64 {
+	var sums [2][]float64
+	var counts [2]int
+	for c := 0; c < 2; c++ {
+		sums[c] = make([]float64, Features)
+	}
+	for i, x := range xs {
+		c := ys[i]
+		counts[c]++
+		for j, v := range x {
+			sums[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range sums[c] {
+			sums[c][j] /= float64(counts[c])
+		}
+	}
+	return sums
+}
+
+func TestClassesAreSeparated(t *testing.T) {
+	ds := Generate(DefaultParams())
+	means := classMeans(ds.TrainX, ds.TrainY)
+	if d := mat.L2Dist(means[0], means[1]); d < 3 {
+		t.Fatalf("class separation %v too small", d)
+	}
+}
+
+func TestDriftShiftsDistribution(t *testing.T) {
+	ds := Generate(DefaultParams())
+	pre := classMeans(ds.TestX[:ds.DriftAt], ds.TestY[:ds.DriftAt])
+	post := classMeans(ds.TestX[ds.DriftAt:], ds.TestY[ds.DriftAt:])
+	train := classMeans(ds.TrainX, ds.TrainY)
+	// Pre-drift test distribution matches training.
+	if d := mat.L2Dist(pre[0], train[0]); d > 0.5 {
+		t.Fatalf("pre-drift normal mean deviates from training by %v", d)
+	}
+	// Post-drift both classes move, in the same direction (covariate
+	// shift), by a comparable amount.
+	d0 := mat.L2Dist(post[0], pre[0])
+	d1 := mat.L2Dist(post[1], pre[1])
+	if d0 < 1 || d1 < 1 {
+		t.Fatalf("post-drift shifts too small: %v, %v", d0, d1)
+	}
+	if math.Abs(d0-d1) > 0.5*math.Max(d0, d1) {
+		t.Fatalf("class shifts inconsistent: %v vs %v", d0, d1)
+	}
+}
+
+func TestAttackMixTiltsAfterDrift(t *testing.T) {
+	ds := Generate(DefaultParams())
+	frac := func(ys []int) float64 {
+		n := 0
+		for _, y := range ys {
+			if y == LabelNeptune {
+				n++
+			}
+		}
+		return float64(n) / float64(len(ys))
+	}
+	pre, post := frac(ds.TestY[:ds.DriftAt]), frac(ds.TestY[ds.DriftAt:])
+	if post <= pre {
+		t.Fatalf("attack mix did not tilt: %v → %v", pre, post)
+	}
+}

@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/rng"
+)
+
+func twoClass() *Gaussian {
+	return NewGaussian([][]float64{{0, 0}, {5, 5}}, 0.5)
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	g := twoClass()
+	r := rng.New(1)
+	var sums [2][2]float64
+	var counts [2]int
+	for i := 0; i < 20000; i++ {
+		x, label := g.Sample(r)
+		if label < 0 || label > 1 {
+			t.Fatalf("label %d", label)
+		}
+		counts[label]++
+		sums[label][0] += x[0]
+		sums[label][1] += x[1]
+	}
+	// Uniform class weights → roughly balanced.
+	if counts[0] < 9000 || counts[0] > 11000 {
+		t.Fatalf("class balance %v", counts)
+	}
+	for c := 0; c < 2; c++ {
+		want := float64(c) * 5
+		for j := 0; j < 2; j++ {
+			if m := sums[c][j] / float64(counts[c]); math.Abs(m-want) > 0.05 {
+				t.Fatalf("class %d dim %d mean %v, want %v", c, j, m, want)
+			}
+		}
+	}
+}
+
+func TestGaussianWeights(t *testing.T) {
+	g := twoClass()
+	g.Weights = []float64{0.9, 0.1}
+	r := rng.New(2)
+	ones := 0
+	for i := 0; i < 10000; i++ {
+		if _, l := g.Sample(r); l == 1 {
+			ones++
+		}
+	}
+	if ones < 700 || ones > 1300 {
+		t.Fatalf("weighted class-1 rate %v", float64(ones)/10000)
+	}
+}
+
+func TestGaussianInterp(t *testing.T) {
+	g := twoClass()
+	o := ShiftedGaussian(g, 10)
+	half := g.Interp(o, 0.5).(*Gaussian)
+	if half.Means[0][0] != 5 || half.Means[1][0] != 10 {
+		t.Fatalf("interp means = %v", half.Means)
+	}
+	if g.Interp(o, 0).(*Gaussian).Means[0][0] != 0 {
+		t.Fatal("t=0 must equal the old concept")
+	}
+}
+
+func TestGaussianInterpPanicsOnMismatch(t *testing.T) {
+	g := twoClass()
+	other := NewGaussian([][]float64{{0}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Interp(other, 0.5)
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{Sudden: "sudden", Gradual: "gradual", Incremental: "incremental", Reoccurring: "reoccurring"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Kind: Sudden, Start: -1}).Validate(10); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := (Spec{Kind: Gradual, Start: 5, End: 5}).Validate(10); err == nil {
+		t.Fatal("empty transition accepted")
+	}
+	if err := (Spec{Kind: Gradual, Start: 5, End: 20}).Validate(10); err == nil {
+		t.Fatal("transition beyond stream accepted")
+	}
+	if err := (Spec{Kind: Sudden, Start: 3}).Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSudden(t *testing.T) {
+	pre := twoClass()
+	post := ShiftedGaussian(pre, 20)
+	st, err := Generate(pre, post, 100, Spec{Kind: Sudden, Start: 40}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range st.X {
+		fromNew := x[0] > 10 || x[1] > 10 // shifted far away
+		if i < 40 && (st.FromNew[i] || fromNew && st.Labels[i] == 0 && x[0] > 10) {
+			if st.FromNew[i] {
+				t.Fatalf("sample %d marked new before drift", i)
+			}
+		}
+		if i >= 40 && !st.FromNew[i] {
+			t.Fatalf("sample %d not marked new after sudden drift", i)
+		}
+	}
+}
+
+func TestGenerateGradualRampsMixture(t *testing.T) {
+	pre := NewGaussian([][]float64{{0}}, 0.01)
+	post := NewGaussian([][]float64{{100}}, 0.01)
+	st, err := Generate(pre, post, 1000, Spec{Kind: Gradual, Start: 200, End: 800}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	countNew := func(lo, hi int) int {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if st.FromNew[i] {
+				n++
+			}
+		}
+		return n
+	}
+	if countNew(0, 200) != 0 {
+		t.Fatal("new concept before drift start")
+	}
+	if countNew(800, 1000) != 200 {
+		t.Fatal("old concept after drift end")
+	}
+	early := countNew(200, 400)
+	late := countNew(600, 800)
+	if early >= late {
+		t.Fatalf("gradual mix not ramping: early=%d late=%d", early, late)
+	}
+	// FromNew must agree with the actual sample values.
+	for i, x := range st.X {
+		if st.FromNew[i] != (x[0] > 50) {
+			t.Fatalf("FromNew[%d] inconsistent with sample %v", i, x[0])
+		}
+	}
+}
+
+func TestGenerateIncrementalMorphs(t *testing.T) {
+	pre := NewGaussian([][]float64{{0}}, 0.01)
+	post := NewGaussian([][]float64{{10}}, 0.01)
+	st, err := Generate(pre, post, 300, Spec{Kind: Incremental, Start: 100, End: 200}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-transition samples should sit between the concepts.
+	mid := st.X[150][0]
+	if mid < 2 || mid > 8 {
+		t.Fatalf("incremental midpoint %v, want within (2,8)", mid)
+	}
+	if st.X[50][0] > 1 || st.X[250][0] < 9 {
+		t.Fatalf("endpoints wrong: %v, %v", st.X[50][0], st.X[250][0])
+	}
+}
+
+func TestGenerateReoccurring(t *testing.T) {
+	pre := NewGaussian([][]float64{{0}}, 0.01)
+	post := NewGaussian([][]float64{{10}}, 0.01)
+	st, err := Generate(pre, post, 300, Spec{Kind: Reoccurring, Start: 100, End: 200}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.X {
+		wantNew := i >= 100 && i < 200
+		if st.FromNew[i] != wantNew {
+			t.Fatalf("FromNew[%d] = %v", i, st.FromNew[i])
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	pre := NewGaussian([][]float64{{0}}, 1)
+	post := NewGaussian([][]float64{{0, 0}}, 1)
+	if _, err := Generate(pre, post, 10, Spec{Kind: Sudden, Start: 5}, rng.New(7)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := Generate(pre, pre, 10, Spec{Kind: Sudden, Start: 50}, rng.New(7)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	xs, labels := TrainingSet(twoClass(), 50, rng.New(8))
+	if len(xs) != 50 || len(labels) != 50 {
+		t.Fatalf("sizes %d/%d", len(xs), len(labels))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	pre := twoClass()
+	post := ShiftedGaussian(pre, 3)
+	a, _ := Generate(pre, post, 200, Spec{Kind: Gradual, Start: 50, End: 150}, rng.New(9))
+	b, _ := Generate(pre, post, 200, Spec{Kind: Gradual, Start: 50, End: 150}, rng.New(9))
+	for i := range a.X {
+		if a.X[i][0] != b.X[i][0] || a.Labels[i] != b.Labels[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestSEALabelsMatchThreshold(t *testing.T) {
+	s := &SEA{Theta: 8}
+	r := rng.New(20)
+	for i := 0; i < 2000; i++ {
+		x, label := s.Sample(r)
+		if len(x) != 3 || s.Dims() != 3 {
+			t.Fatal("SEA dimension")
+		}
+		want := 0
+		if x[0]+x[1] <= 8 {
+			want = 1
+		}
+		if label != want {
+			t.Fatalf("label %d for %v", label, x)
+		}
+		for _, v := range x {
+			if v < 0 || v >= 10 {
+				t.Fatalf("attribute %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestSEANoiseFlipsLabels(t *testing.T) {
+	s := &SEA{Theta: 8, Noise: 0.3}
+	r := rng.New(21)
+	flips := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		x, label := s.Sample(r)
+		want := 0
+		if x[0]+x[1] <= 8 {
+			want = 1
+		}
+		if label != want {
+			flips++
+		}
+	}
+	rate := float64(flips) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("noise rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestSEAInputDistributionIsThetaInvariant(t *testing.T) {
+	// The whole point of SEA drift: P(x) does not depend on Theta.
+	a := &SEA{Theta: 8}
+	b := &SEA{Theta: 9.5}
+	ra, rb := rng.New(22), rng.New(22)
+	for i := 0; i < 100; i++ {
+		xa, _ := a.Sample(ra)
+		xb, _ := b.Sample(rb)
+		for j := range xa {
+			if xa[j] != xb[j] {
+				t.Fatal("same seed must give identical inputs regardless of Theta")
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package ddm implements the Drift Detection Method of Gama et al.
+// (SBIA 2004), the classic error-rate based detector the paper's related
+// work (§2.2.2) describes: it monitors the discriminative model's
+// prediction error rate p_i with standard deviation s_i = √(p_i(1−p_i)/i)
+// and raises a warning when p_i + s_i ≥ p_min + 2·s_min and a drift when
+// p_i + s_i ≥ p_min + 3·s_min.
+//
+// DDM needs labelled data — every observation is "was the prediction
+// correct?" — which is exactly the property that makes error-rate
+// detectors ill-suited to the paper's unlabelled edge setting. It is
+// provided as an additional baseline and for the ablation benches.
+package ddm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level is DDM's three-state output.
+type Level int
+
+const (
+	// InControl means no anomaly in the error rate.
+	InControl Level = iota
+	// Warning crosses the 2σ band; callers typically start buffering
+	// samples for a fresh model.
+	Warning
+	// Drift crosses the 3σ band; the model should be replaced.
+	Drift
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case InControl:
+		return "in-control"
+	case Warning:
+		return "warning"
+	case Drift:
+		return "drift"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config parameterises DDM.
+type Config struct {
+	// MinSamples before any decision is made; 0 means 30 (the
+	// original's recommendation).
+	MinSamples int
+	// WarnSigma is the warning band width; 0 means 2.
+	WarnSigma float64
+	// DriftSigma is the drift band width; 0 means 3.
+	DriftSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples == 0 {
+		c.MinSamples = 30
+	}
+	if c.WarnSigma == 0 {
+		c.WarnSigma = 2
+	}
+	if c.DriftSigma == 0 {
+		c.DriftSigma = 3
+	}
+	return c
+}
+
+// Detector is a DDM instance. The zero value is not usable; call New.
+type Detector struct {
+	cfg  Config
+	i    int
+	errs int
+	pMin float64
+	sMin float64
+}
+
+// New returns a fresh detector.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), pMin: math.Inf(1), sMin: math.Inf(1)}
+}
+
+// Observe folds one prediction outcome (error=true means the model was
+// wrong) and returns the current level. After returning Drift the
+// detector resets itself, matching the usual replace-the-model protocol.
+func (d *Detector) Observe(err bool) Level {
+	d.i++
+	if err {
+		d.errs++
+	}
+	if d.i < d.cfg.MinSamples {
+		return InControl
+	}
+	p := float64(d.errs) / float64(d.i)
+	s := math.Sqrt(p * (1 - p) / float64(d.i))
+	if p+s < d.pMin+d.sMin {
+		d.pMin, d.sMin = p, s
+	}
+	switch {
+	case p+s >= d.pMin+d.cfg.DriftSigma*d.sMin:
+		d.Reset()
+		return Drift
+	case p+s >= d.pMin+d.cfg.WarnSigma*d.sMin:
+		return Warning
+	default:
+		return InControl
+	}
+}
+
+// Reset restores the initial state (also called internally after a
+// drift).
+func (d *Detector) Reset() {
+	d.i, d.errs = 0, 0
+	d.pMin, d.sMin = math.Inf(1), math.Inf(1)
+}
+
+// Samples returns the observations since the last reset.
+func (d *Detector) Samples() int { return d.i }
+
+// ErrorRate returns the error rate since the last reset (0 when empty).
+func (d *Detector) ErrorRate() float64 {
+	if d.i == 0 {
+		return 0
+	}
+	return float64(d.errs) / float64(d.i)
+}
+
+// MemoryBytes audits retained state — a handful of scalars, the reason
+// error-rate detectors are cheap when labels exist.
+func (d *Detector) MemoryBytes() int { return 5 * 8 }

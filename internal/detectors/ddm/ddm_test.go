@@ -1,0 +1,132 @@
+package ddm
+
+import (
+	"testing"
+
+	"edgedrift/internal/rng"
+)
+
+func TestLevelStrings(t *testing.T) {
+	if InControl.String() != "in-control" || Warning.String() != "warning" || Drift.String() != "drift" {
+		t.Fatal("level names")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Fatal("unknown level name")
+	}
+}
+
+func TestNoDecisionBeforeMinSamples(t *testing.T) {
+	d := New(Config{MinSamples: 30})
+	for i := 0; i < 29; i++ {
+		if lvl := d.Observe(true); lvl != InControl {
+			t.Fatalf("decision %v at sample %d, before MinSamples", lvl, i)
+		}
+	}
+}
+
+func TestStableErrorRateStaysInControl(t *testing.T) {
+	d := New(Config{})
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		if lvl := d.Observe(r.Bernoulli(0.1)); lvl == Drift {
+			t.Fatalf("drift on stationary 10%% error stream at %d", i)
+		}
+	}
+	if rate := d.ErrorRate(); rate < 0.07 || rate > 0.13 {
+		t.Fatalf("error rate %v", rate)
+	}
+}
+
+func TestErrorRateJumpTriggersDrift(t *testing.T) {
+	d := New(Config{})
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		d.Observe(r.Bernoulli(0.05))
+	}
+	sawWarning, sawDrift := false, false
+	detectedAt := -1
+	for i := 0; i < 500; i++ {
+		switch d.Observe(r.Bernoulli(0.6)) {
+		case Warning:
+			sawWarning = true
+		case Drift:
+			sawDrift = true
+			if detectedAt == -1 {
+				detectedAt = i
+			}
+		}
+	}
+	if !sawDrift {
+		t.Fatal("error-rate jump not detected")
+	}
+	if !sawWarning {
+		t.Fatal("no warning phase before drift")
+	}
+	if detectedAt > 200 {
+		t.Fatalf("drift detected only after %d samples", detectedAt)
+	}
+}
+
+func TestResetAfterDrift(t *testing.T) {
+	d := New(Config{})
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		d.Observe(r.Bernoulli(0.05))
+	}
+	for i := 0; i < 1000; i++ {
+		if d.Observe(true) == Drift {
+			break
+		}
+	}
+	// Internal reset: counters back to zero.
+	if d.Samples() != 0 {
+		t.Fatalf("Samples after drift = %d, want 0 (auto-reset)", d.Samples())
+	}
+	if d.ErrorRate() != 0 {
+		t.Fatalf("ErrorRate after reset = %v", d.ErrorRate())
+	}
+}
+
+func TestManualReset(t *testing.T) {
+	d := New(Config{})
+	d.Observe(true)
+	d.Observe(false)
+	if d.Samples() != 2 {
+		t.Fatalf("Samples = %d", d.Samples())
+	}
+	d.Reset()
+	if d.Samples() != 0 || d.ErrorRate() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMemoryBytesTiny(t *testing.T) {
+	if b := New(Config{}).MemoryBytes(); b > 100 {
+		t.Fatalf("DDM memory %d bytes, should be scalar-sized", b)
+	}
+}
+
+func TestCustomBands(t *testing.T) {
+	// With a huge drift band, only warnings appear.
+	d := New(Config{WarnSigma: 0.5, DriftSigma: 50})
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		d.Observe(r.Bernoulli(0.05))
+	}
+	sawDrift := false
+	sawWarning := false
+	for i := 0; i < 300; i++ {
+		switch d.Observe(r.Bernoulli(0.5)) {
+		case Drift:
+			sawDrift = true
+		case Warning:
+			sawWarning = true
+		}
+	}
+	if sawDrift {
+		t.Fatal("drift despite 50σ band")
+	}
+	if !sawWarning {
+		t.Fatal("no warning despite 0.5σ band")
+	}
+}

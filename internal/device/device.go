@@ -1,0 +1,141 @@
+// Package device models the paper's two evaluation platforms — Raspberry
+// Pi 4 Model B and Raspberry Pi Pico — well enough to reproduce the
+// execution-time and memory tables without the hardware.
+//
+// Time: the compute kernels in this repository count their floating-point
+// work (package opcount); a device Profile converts those counts into
+// seconds with per-operation-class cycle costs. The Pico profile reflects
+// a Cortex-M0+ running an interpreted runtime with software
+// double-precision floats (the usual MicroPython deployment, hundreds of
+// cycles per float op); the Pi 4 profile reflects a Cortex-A72 running an
+// interpreter over hardware floats (tens of cycles per op). The absolute
+// scale of each profile is a calibration constant; the *relative* costs
+// across methods and stages come from the measured op counts.
+//
+// Memory: every monitor in this repository reports the bytes of state it
+// retains (MemoryBytes); FitsIn checks a footprint against a device's
+// RAM, reproducing the paper's point that the batch methods cannot run in
+// the Pico's 264 kB.
+package device
+
+import (
+	"fmt"
+
+	"edgedrift/internal/opcount"
+)
+
+// Profile describes one execution platform.
+type Profile struct {
+	// Name identifies the device in reports.
+	Name string
+	// ClockHz is the core clock.
+	ClockHz float64
+	// RAMBytes is the usable RAM.
+	RAMBytes int
+	// Cycle costs per operation class.
+	CyclesMulAdd float64
+	CyclesAdd    float64
+	CyclesMul    float64
+	CyclesDiv    float64
+	CyclesExp    float64
+	CyclesAbs    float64
+	CyclesCmp    float64
+}
+
+// Pi4 returns the Raspberry Pi 4 Model B profile (Cortex-A72, 1.5 GHz,
+// 4 GB RAM; Table 1). Cycle costs model an interpreted float pipeline on
+// a hardware FPU and are calibrated so the no-detection baseline over the
+// 700-sample cooling-fan stream lands near the paper's ≈1 s.
+func Pi4() Profile {
+	return Profile{
+		Name:         "Raspberry Pi 4 Model B",
+		ClockHz:      1.5e9,
+		RAMBytes:     4 << 30,
+		CyclesMulAdd: 95,
+		CyclesAdd:    80,
+		CyclesMul:    90,
+		CyclesDiv:    140,
+		CyclesExp:    400,
+		CyclesAbs:    70,
+		CyclesCmp:    70,
+	}
+}
+
+// PiPico returns the Raspberry Pi Pico profile (Cortex-M0+, 133 MHz,
+// 264 kB RAM; Table 1). The M0+ has no FPU: every double-precision
+// operation is a software routine dispatched by an interpreted runtime,
+// costing on the order of a thousand cycles. Calibrated so one label
+// prediction of the cooling-fan model (D=511, H=22) lands near the
+// paper's 148.87 ms.
+func PiPico() Profile {
+	return Profile{
+		Name:         "Raspberry Pi Pico",
+		ClockHz:      133e6,
+		RAMBytes:     264 << 10,
+		CyclesMulAdd: 850,
+		CyclesAdd:    700,
+		CyclesMul:    800,
+		CyclesDiv:    1400,
+		CyclesExp:    3200,
+		CyclesAbs:    500,
+		CyclesCmp:    500,
+	}
+}
+
+// PiPicoFixed returns the Raspberry Pi Pico running a compiled
+// fixed-point (Q16.16) pipeline instead of interpreted software floats:
+// a multiply-accumulate is a few integer instructions on the M0+
+// (MULS + shifts + ADDS), the sigmoid is a table interpolation, and
+// division remains comparatively expensive (software 32-bit divide).
+// Same silicon as PiPico — only the arithmetic changes.
+func PiPicoFixed() Profile {
+	return Profile{
+		Name:         "Raspberry Pi Pico (fixed-point)",
+		ClockHz:      133e6,
+		RAMBytes:     264 << 10,
+		CyclesMulAdd: 8,
+		CyclesAdd:    2,
+		CyclesMul:    6,
+		CyclesDiv:    40,
+		CyclesExp:    24, // LUT + interpolation
+		CyclesAbs:    3,
+		CyclesCmp:    2,
+	}
+}
+
+// Cycles converts an operation tally into device cycles.
+func (p Profile) Cycles(c opcount.Counter) float64 {
+	return float64(c.MulAdd)*p.CyclesMulAdd +
+		float64(c.Add)*p.CyclesAdd +
+		float64(c.Mul)*p.CyclesMul +
+		float64(c.Div)*p.CyclesDiv +
+		float64(c.Exp)*p.CyclesExp +
+		float64(c.Abs)*p.CyclesAbs +
+		float64(c.Cmp)*p.CyclesCmp
+}
+
+// Seconds converts an operation tally into device seconds.
+func (p Profile) Seconds(c opcount.Counter) float64 {
+	return p.Cycles(c) / p.ClockHz
+}
+
+// Millis converts an operation tally into device milliseconds.
+func (p Profile) Millis(c opcount.Counter) float64 {
+	return p.Seconds(c) * 1e3
+}
+
+// FitsIn reports whether a memory footprint fits in the device RAM with
+// the given fraction reserved for the runtime (stack, interpreter, I/O
+// buffers). reserve 0 means 25%.
+func (p Profile) FitsIn(footprintBytes int, reserve float64) bool {
+	if reserve == 0 {
+		reserve = 0.25
+	}
+	if reserve < 0 || reserve >= 1 {
+		panic(fmt.Sprintf("device: reserve %v out of [0,1)", reserve))
+	}
+	return float64(footprintBytes) <= float64(p.RAMBytes)*(1-reserve)
+}
+
+// KB renders a byte count in the paper's kB units (decimal).
+func KB(bytes int) float64 { return float64(bytes) / 1000 }

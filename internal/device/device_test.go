@@ -1,0 +1,98 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/oselm"
+	"edgedrift/internal/rng"
+)
+
+func TestProfilesSpecTable(t *testing.T) {
+	pico := PiPico()
+	if pico.ClockHz != 133e6 || pico.RAMBytes != 264*1024 {
+		t.Fatalf("Pico spec: %v Hz, %v bytes", pico.ClockHz, pico.RAMBytes)
+	}
+	pi4 := Pi4()
+	if pi4.ClockHz != 1.5e9 || pi4.RAMBytes != 4<<30 {
+		t.Fatalf("Pi4 spec: %v Hz, %v bytes", pi4.ClockHz, pi4.RAMBytes)
+	}
+}
+
+func TestSecondsLinearInOps(t *testing.T) {
+	p := Pi4()
+	var c opcount.Counter
+	c.AddMulAdd(1000)
+	one := p.Seconds(c)
+	c.AddMulAdd(1000)
+	two := p.Seconds(c)
+	if math.Abs(two-2*one) > 1e-15 {
+		t.Fatalf("seconds not linear: %v vs %v", one, two)
+	}
+	if one <= 0 {
+		t.Fatal("non-positive time")
+	}
+	if p.Millis(c) != p.Seconds(c)*1e3 {
+		t.Fatal("Millis/Seconds mismatch")
+	}
+}
+
+func TestPicoSlowerThanPi4(t *testing.T) {
+	var c opcount.Counter
+	c.AddMulAdd(10000)
+	c.AddExp(100)
+	if PiPico().Seconds(c) < 50*Pi4().Seconds(c) {
+		t.Fatalf("Pico %v not ≫ Pi4 %v", PiPico().Seconds(c), Pi4().Seconds(c))
+	}
+}
+
+// TestPicoLabelPredictionCalibration pins the headline Table 6 number:
+// one label prediction of the cooling-fan autoencoder (D=511, H=22) on
+// the Pico model should land in the paper's ≈150 ms regime.
+func TestPicoLabelPredictionCalibration(t *testing.T) {
+	ae, err := oselm.NewAutoencoder(oselm.Config{Inputs: 511, Hidden: 22}, oselm.MSE, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c opcount.Counter
+	ae.SetOps(&c)
+	x := make([]float64, 511)
+	rng.New(2).FillNorm(x, 0, 1)
+	ae.Score(x)
+	ms := PiPico().Millis(c)
+	if ms < 75 || ms > 300 {
+		t.Fatalf("Pico label prediction = %v ms, want ≈150", ms)
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	pico := PiPico()
+	if !pico.FitsIn(69_000, 0) { // the paper's proposed-method footprint
+		t.Fatal("69 kB should fit the Pico")
+	}
+	if pico.FitsIn(619_000, 0) { // QuantTree's footprint
+		t.Fatal("619 kB must not fit the Pico")
+	}
+	if pico.FitsIn(1_933_000, 0) { // SPLL's footprint
+		t.Fatal("1.9 MB must not fit the Pico")
+	}
+	if !Pi4().FitsIn(1_933_000, 0) {
+		t.Fatal("SPLL fits a Pi 4 easily")
+	}
+}
+
+func TestFitsInPanicsOnBadReserve(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PiPico().FitsIn(100, 1.5)
+}
+
+func TestKB(t *testing.T) {
+	if KB(69_000) != 69 {
+		t.Fatalf("KB = %v", KB(69_000))
+	}
+}

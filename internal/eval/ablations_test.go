@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationAndExtensionRegistries(t *testing.T) {
+	abl := RegistryAblations()
+	if len(abl) != 7 {
+		t.Fatalf("ablation registry size %d", len(abl))
+	}
+	ext := RegistryExtensions()
+	if len(ext) != 5 {
+		t.Fatalf("extension registry size %d", len(ext))
+	}
+	for _, e := range append(abl, ext...) {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Fatalf("incomplete experiment %+v", e.ID)
+		}
+		got, ok := LookupAny(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("LookupAny(%s) failed", e.ID)
+		}
+	}
+	// Main registry ids resolve through LookupAny too.
+	if _, ok := LookupAny("table2"); !ok {
+		t.Fatal("LookupAny must cover the main registry")
+	}
+}
+
+func cellFloat(t *testing.T, tab *Table, r, c int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q", r, c, tab.Rows[r][c])
+	}
+	return v
+}
+
+func cellInt(t *testing.T, tab *Table, r, c int) (int, bool) {
+	t.Helper()
+	if tab.Rows[r][c] == "-" {
+		return 0, false
+	}
+	v, err := strconv.Atoi(tab.Rows[r][c])
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q", r, c, tab.Rows[r][c])
+	}
+	return v, true
+}
+
+func TestAblationCentroidShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tab := AblationCentroidUpdate(1).Tables[0]
+	rm, ok1 := cellInt(t, tab, 0, 2)
+	ew, ok2 := cellInt(t, tab, 2, 2)
+	if !ok1 || !ok2 {
+		t.Fatal("both update rules must detect")
+	}
+	if ew > rm {
+		t.Fatalf("EWMA delay %d should not exceed running mean %d", ew, rm)
+	}
+}
+
+func TestAblationGateShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tab := AblationErrorGate(1).Tables[0]
+	gated := cellFloat(t, tab, 0, 3)
+	always := cellFloat(t, tab, 1, 3)
+	if gated >= always {
+		t.Fatalf("gating must reduce distance-stage invocations: %v vs %v", gated, always)
+	}
+}
+
+func TestAblationMultiWindowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tab := AblationMultiWindow(1).Tables[0]
+	// Rows: single W=10, single W=150, ensemble q1, ensemble q2.
+	if tab.Rows[1][2] != "no" {
+		t.Fatal("single W=150 must miss the reoccurring burst")
+	}
+	if tab.Rows[0][2] != "yes" {
+		t.Fatal("single W=10 must catch the reoccurring burst")
+	}
+	if tab.Rows[3][2] != "no" {
+		t.Fatal("quorum-2 ensemble must veto the burst")
+	}
+	if tab.Rows[2][2] != "yes" {
+		t.Fatal("quorum-1 ensemble must flag the burst")
+	}
+}
+
+func TestExtensionFixedPointShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tab := ExtensionFixedPoint(1).Tables[0]
+	floatMs := cellFloat(t, tab, 0, 2)
+	fixedMs := cellFloat(t, tab, 1, 2)
+	if fixedMs*20 > floatMs {
+		t.Fatalf("fixed point must be ≫ cheaper: %v vs %v ms", fixedMs, floatMs)
+	}
+	if tab.Rows[1][4] != "yes" {
+		t.Fatal("fixed-point deployment must fit the Pico")
+	}
+	if _, detected := cellInt(t, tab, 1, 1); !detected {
+		t.Fatal("fixed-point monitor must detect the drift")
+	}
+}
+
+func TestExtensionIncrementalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	tab := ExtensionIncremental(1).Tables[0]
+	for r := range tab.Rows {
+		if _, detected := cellInt(t, tab, r, 1); !detected {
+			t.Fatalf("row %d: incremental drift missed", r)
+		}
+		recons := cellFloat(t, tab, r, 3)
+		if recons < 2 {
+			t.Fatalf("row %d: a slow morph should force multiple reconstructions, got %v", r, recons)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	wantIDs := []string{"fig1", "fig3", "fig4", "table2", "table3", "table4", "table5", "table6"}
+	if len(reg) != len(wantIDs) {
+		t.Fatalf("registry size %d", len(reg))
+	}
+	for i, id := range wantIDs {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Title == "" {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+		e, ok := Lookup(id)
+		if !ok || e.ID != id {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown id succeeded")
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	out := Figure1(1)
+	if len(out.Figures) != 1 || len(out.Figures[0].Series) != 4 {
+		t.Fatal("figure 1 must have four series")
+	}
+	tab := out.Tables[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("summary rows %d", len(tab.Rows))
+	}
+	cell := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("cell (%d,%d) = %q", r, c, tab.Rows[r][c])
+		}
+		return v
+	}
+	for r := 0; r < 4; r++ {
+		pre := cell(r, 1)
+		if pre < -0.3 || pre > 0.3 {
+			t.Fatalf("row %d pre-drift mean %v", r, pre)
+		}
+	}
+	// Sudden/gradual/incremental end at the new concept (≈4); the
+	// reoccurring stream returns to the old one (≈0).
+	for r := 0; r < 3; r++ {
+		if end := cell(r, 3); end < 3.5 {
+			t.Fatalf("row %d end mean %v, want ≈4", r, end)
+		}
+	}
+	if end := cell(3, 3); end > 0.5 {
+		t.Fatalf("reoccurring end mean %v, want ≈0", end)
+	}
+	// Transition means: gradual and incremental sit between concepts.
+	for _, r := range []int{1, 2} {
+		if mid := cell(r, 2); mid < 1 || mid > 3 {
+			t.Fatalf("row %d transition mean %v, want between concepts", r, mid)
+		}
+	}
+}
+
+// TestTable3Shape is the cooling-fan headline: sudden delays grow with
+// the window, gradual delays exceed sudden ones, and the reoccurring
+// drift escapes the largest window. (Table 2 / Figure 4 shapes are
+// exercised by the repo-level benchmark harness — they need the full
+// 22,701-sample stream and are too slow for the unit suite.)
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := Table3(1)
+	tab := out.Tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	parse := func(cell string) (int, bool) {
+		if cell == "-" {
+			return 0, false
+		}
+		v, err := strconv.Atoi(cell)
+		if err != nil {
+			t.Fatalf("bad delay cell %q", cell)
+		}
+		return v, true
+	}
+	sud10, ok10 := parse(tab.Rows[0][1])
+	sud150, ok150 := parse(tab.Rows[2][1])
+	if !ok10 || !ok150 || sud10 >= sud150 {
+		t.Fatalf("sudden delays not growing with window: %v vs %v", tab.Rows[0][1], tab.Rows[2][1])
+	}
+	grad10, okg := parse(tab.Rows[0][2])
+	if !okg || grad10 <= sud10 {
+		t.Fatalf("gradual delay %v not above sudden %v", grad10, sud10)
+	}
+	if _, detected := parse(tab.Rows[2][3]); detected {
+		t.Fatal("reoccurring drift must escape W=150")
+	}
+	if _, detected := parse(tab.Rows[0][3]); !detected {
+		t.Fatal("reoccurring drift must be caught at W=10")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := Table4(1)
+	tab := out.Tables[0]
+	kb := func(r int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][1], 64)
+		if err != nil {
+			t.Fatalf("cell %q", tab.Rows[r][1])
+		}
+		return v
+	}
+	qt, sp, prop := kb(0), kb(1), kb(2)
+	if !(sp > qt && qt > prop) {
+		t.Fatalf("memory ordering wrong: SPLL %v, QT %v, proposed %v", sp, qt, prop)
+	}
+	if sp < 20*prop {
+		t.Fatalf("proposed should save well over 90%%: %v vs %v", prop, sp)
+	}
+	if tab.Rows[2][2] != "yes" || tab.Rows[0][2] != "no" || tab.Rows[1][2] != "no" {
+		t.Fatalf("Pico fit column wrong: %v", tab.Rows)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := Table5(1)
+	tab := out.Tables[0]
+	sec := func(r int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][1], 64)
+		if err != nil {
+			t.Fatalf("cell %q", tab.Rows[r][1])
+		}
+		return v
+	}
+	qt, sp, base, prop := sec(0), sec(1), sec(2), sec(3)
+	if sp < 3*qt || sp < 3*prop {
+		t.Fatalf("SPLL must dominate: %v vs %v/%v", sp, qt, prop)
+	}
+	if prop < base {
+		t.Fatalf("proposed %v cannot undercut the baseline %v", prop, base)
+	}
+	if prop > 2*base {
+		t.Fatalf("proposed %v overhead beyond 2× baseline %v", prop, base)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := Table6(1)
+	tab := out.Tables[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	ms := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("cell %q", row[1])
+		}
+		ms[row[0]] = v
+	}
+	pred := ms["label prediction"]
+	if pred < 75 || pred > 300 {
+		t.Fatalf("label prediction %v ms, want ≈150", pred)
+	}
+	// The paper's claim: detection overhead (distance computation) is
+	// well below label prediction.
+	if dist := ms["distance computation"]; dist >= pred/3 {
+		t.Fatalf("distance %v not ≪ prediction %v", dist, pred)
+	}
+	if upd := ms["label coordinates update"]; upd >= pred/3 {
+		t.Fatalf("coordinate update %v not ≪ prediction %v", upd, pred)
+	}
+}
+
+func TestFigure4SummaryColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	t.Skip("full NSL-KDD stream; covered by the repo benchmark harness")
+}
+
+func TestExperimentTablesRenderWithoutPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := Figure1(2)
+	for _, tab := range out.Tables {
+		if s := tab.String(); !strings.Contains(s, "drift") {
+			t.Fatalf("render: %s", s)
+		}
+		if tab.CSV() == "" {
+			t.Fatal("empty CSV")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package eval is the experiment harness: it runs the five evaluated
+// method combinations over drifting streams, measures accuracy,
+// detection delay, memory and (modelled) execution time, and renders the
+// paper's tables and figure series.
+package eval
+
+// LabelMapper resolves predicted cluster identities to ground-truth
+// labels by online majority vote.
+//
+// The discriminative model's instances carry true-label semantics only
+// until the first reconstruction; afterwards they are clusters of the new
+// concept with arbitrary ids. Accuracy against ground truth therefore
+// uses the causal mapping "predicted id → the true label it has most
+// often co-occurred with so far", re-anchored whenever the model is
+// rebuilt. This is how a deployed unsupervised system's outputs would be
+// scored, and it never peeks ahead.
+type LabelMapper struct {
+	counts [][]int // [predicted][true]
+}
+
+// NewLabelMapper returns a mapper for the given predicted and true label
+// counts.
+func NewLabelMapper(predClasses, trueClasses int) *LabelMapper {
+	m := &LabelMapper{counts: make([][]int, predClasses)}
+	for i := range m.counts {
+		m.counts[i] = make([]int, trueClasses)
+	}
+	return m
+}
+
+// Observe records a co-occurrence AFTER the caller has scored the sample
+// with Map (keeping the mapping causal).
+func (m *LabelMapper) Observe(pred, truth int) {
+	m.counts[pred][truth]++
+}
+
+// Map returns the ground-truth label currently associated with the
+// predicted id. With no evidence it falls back to the identity mapping
+// (clamped), which is exact before any reconstruction.
+func (m *LabelMapper) Map(pred int) int {
+	row := m.counts[pred]
+	best, bestN := -1, 0
+	for t, n := range row {
+		if n > bestN {
+			best, bestN = t, n
+		}
+	}
+	if best == -1 {
+		if pred < len(row) {
+			return pred
+		}
+		return 0
+	}
+	return best
+}
+
+// Reset clears the evidence, typically after a model reconstruction
+// reassigns cluster identities.
+func (m *LabelMapper) Reset() {
+	for i := range m.counts {
+		for j := range m.counts[i] {
+			m.counts[i][j] = 0
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package eval
+
+import "testing"
+
+func TestMapperIdentityFallback(t *testing.T) {
+	m := NewLabelMapper(2, 2)
+	if m.Map(0) != 0 || m.Map(1) != 1 {
+		t.Fatal("fresh mapper must be identity")
+	}
+	// More predicted classes than true classes: clamp.
+	m2 := NewLabelMapper(3, 2)
+	if got := m2.Map(2); got != 2 && got != 0 {
+		t.Fatalf("fallback Map(2) = %d", got)
+	}
+}
+
+func TestMapperLearnsPermutation(t *testing.T) {
+	m := NewLabelMapper(2, 2)
+	// Model predicts flipped ids.
+	for i := 0; i < 10; i++ {
+		m.Observe(0, 1)
+		m.Observe(1, 0)
+	}
+	if m.Map(0) != 1 || m.Map(1) != 0 {
+		t.Fatalf("mapping not learned: %d %d", m.Map(0), m.Map(1))
+	}
+}
+
+func TestMapperMajorityWins(t *testing.T) {
+	m := NewLabelMapper(1, 3)
+	m.Observe(0, 2)
+	m.Observe(0, 2)
+	m.Observe(0, 1)
+	if m.Map(0) != 2 {
+		t.Fatalf("Map(0) = %d, want 2", m.Map(0))
+	}
+}
+
+func TestMapperReset(t *testing.T) {
+	m := NewLabelMapper(2, 2)
+	m.Observe(0, 1)
+	m.Reset()
+	if m.Map(0) != 0 {
+		t.Fatal("Reset did not restore identity fallback")
+	}
+}
+
+func TestMapperCausality(t *testing.T) {
+	// Map must be callable before Observe for the same sample without
+	// using that sample's truth.
+	m := NewLabelMapper(2, 2)
+	got := m.Map(1)
+	m.Observe(1, 0)
+	if got != 1 {
+		t.Fatalf("pre-observation Map(1) = %d, want identity 1", got)
+	}
+	if m.Map(1) != 0 {
+		t.Fatal("post-observation mapping should flip")
+	}
+}

@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel runs the given closures concurrently, bounded by GOMAXPROCS,
+// and returns when all have finished. Each closure must own all of its
+// mutable state (models, detectors, RNG streams); the experiment drivers
+// satisfy this by construction — every method evaluation builds its own
+// model from its own seed and only shares immutable dataset slices.
+//
+// Determinism is preserved: concurrency changes scheduling, never the
+// per-closure computation, and results are written to pre-assigned
+// slots rather than appended.
+func Parallel(fns ...func()) {
+	limit := runtime.GOMAXPROCS(0)
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f func()) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

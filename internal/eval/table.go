@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, column headers and
+// string rows. It formats as aligned ASCII for the terminal and as CSV
+// for downstream plotting.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form caveats appended under the table.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// trimFloat renders floats compactly with up to 2 decimals.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "-0" || s == "" {
+		s = "0"
+	}
+	return s
+}
+
+// String renders the aligned ASCII table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (title and notes omitted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure: y values at x positions.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SeriesCSV renders aligned series as CSV with a shared x column. The
+// series may have different lengths; missing cells are left empty.
+func SeriesCSV(xName string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	maxLen := 0
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+		if len(s.X) > maxLen {
+			maxLen = len(s.X)
+		}
+	}
+	b.WriteByte('\n')
+	for i := 0; i < maxLen; i++ {
+		wroteX := false
+		var row strings.Builder
+		for _, s := range series {
+			row.WriteByte(',')
+			if i < len(s.Y) {
+				if !wroteX {
+					wroteX = true
+				}
+				fmt.Fprintf(&row, "%g", s.Y[i])
+			}
+		}
+		// Use the first series that still has an x value at i.
+		x := ""
+		for _, s := range series {
+			if i < len(s.X) {
+				x = fmt.Sprintf("%g", s.X[i])
+				break
+			}
+		}
+		b.WriteString(x)
+		b.WriteString(row.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

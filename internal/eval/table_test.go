@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a caveat"},
+	}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", "x")
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "alpha") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "note: a caveat") {
+		t.Fatal("note missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+	// Columns align: "alpha" starts each data row at column 0 with padding.
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.HasPrefix(lines[4], "b    ") {
+		t.Fatalf("alignment broken:\n%s", s)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:     "1.5",
+		1.50001: "1.5",
+		2:       "2",
+		-0.0001: "0",
+		96.84:   "96.84",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("plain", `quote"and,comma`)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"quote\"\"and,comma\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := SeriesCSV("x", []Series{
+		{Name: "one", X: []float64{0, 1}, Y: []float64{10, 11}},
+		{Name: "two", X: []float64{0}, Y: []float64{20}},
+	})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "x,one,two" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,10,20" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "1,11," {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

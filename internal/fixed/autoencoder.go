@@ -1,0 +1,98 @@
+package fixed
+
+import (
+	"fmt"
+
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/oselm"
+)
+
+// Autoencoder is an inference-only Q16.16 quantisation of a trained
+// oselm.Autoencoder: fixed W, b, β; no P matrix (training stays on the
+// float path / the host).
+type Autoencoder struct {
+	inputs, hidden int
+	// w is row-major Hidden×Inputs, beta row-major Hidden×Inputs
+	// (autoencoder: outputs = inputs).
+	w    []Q
+	bias []Q
+	beta []Q
+
+	h     []Q
+	recon []Q
+	ops   *opcount.Counter
+}
+
+// QuantizeAutoencoder converts a trained float autoencoder for
+// fixed-point inference. Weight magnitudes must fit Q16.16 (they do for
+// standardised features and the paper's configurations; saturation
+// applies otherwise).
+func QuantizeAutoencoder(src *oselm.Autoencoder) *Autoencoder {
+	m := src.Model()
+	cfg := m.Config()
+	a := &Autoencoder{
+		inputs: cfg.Inputs,
+		hidden: cfg.Hidden,
+		w:      make([]Q, cfg.Hidden*cfg.Inputs),
+		bias:   make([]Q, cfg.Hidden),
+		beta:   make([]Q, cfg.Hidden*cfg.Inputs),
+		h:      make([]Q, cfg.Hidden),
+		recon:  make([]Q, cfg.Inputs),
+	}
+	wf, bf, betaf := m.Weights()
+	for i, v := range wf {
+		a.w[i] = FromFloat(v)
+	}
+	for i, v := range bf {
+		a.bias[i] = FromFloat(v)
+	}
+	for i, v := range betaf {
+		a.beta[i] = FromFloat(v)
+	}
+	return a
+}
+
+// Inputs returns the feature dimension.
+func (a *Autoencoder) Inputs() int { return a.inputs }
+
+// SetOps attaches an operation counter (integer MACs are counted in the
+// MulAdd class; the device profile decides what they cost).
+func (a *Autoencoder) SetOps(c *opcount.Counter) { a.ops = c }
+
+// Score computes the mean-absolute reconstruction error of x — the L1
+// metric, chosen because it needs no fixed-point squaring (whose range
+// demands would halve the usable precision).
+func (a *Autoencoder) Score(x []Q) Q {
+	if len(x) != a.inputs {
+		panic(fmt.Sprintf("fixed: input dimension %d, want %d", len(x), a.inputs))
+	}
+	// Hidden layer.
+	for i := 0; i < a.hidden; i++ {
+		row := a.w[i*a.inputs : (i+1)*a.inputs]
+		a.h[i] = Sigmoid(Add(DotAcc(row, x), a.bias[i]))
+	}
+	a.ops.AddMulAdd(a.hidden * a.inputs)
+	a.ops.AddAdd(a.hidden)
+	a.ops.AddExp(a.hidden) // table lookups; profiles may cost them as cheap
+	// Output layer: recon = βᵀ·h.
+	for j := range a.recon {
+		a.recon[j] = 0
+	}
+	for i := 0; i < a.hidden; i++ {
+		hi := a.h[i]
+		if hi == 0 {
+			continue
+		}
+		row := a.beta[i*a.inputs : (i+1)*a.inputs]
+		for j, b := range row {
+			a.recon[j] = Add(a.recon[j], Mul(hi, b))
+		}
+	}
+	a.ops.AddMulAdd(a.hidden * a.inputs)
+	// Mean absolute error.
+	total := L1DistAcc(a.recon, x)
+	a.ops.AddAbs(a.inputs)
+	a.ops.AddAdd(a.inputs)
+	a.ops.AddDiv(1)
+	return Div(total, FromFloat(float64(a.inputs)))
+}

@@ -1,0 +1,175 @@
+package fixed
+
+import (
+	"fmt"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/opcount"
+)
+
+// Monitor is the on-device half of a split deployment: quantised label
+// prediction over C autoencoder instances plus the sequential centroid
+// drift check of Algorithm 1 in pure integer arithmetic. On detection it
+// sets a flag (readable via DriftPending) rather than reconstructing —
+// the host retrains and ships a fresh artifact, the realistic division
+// of labour for an M0+-class device.
+type Monitor struct {
+	instances []*Autoencoder
+	dims      int
+
+	trainCor [][]Q
+	cor      [][]Q
+	num      []int32
+
+	thetaError Q
+	thetaDrift Q
+	window     int
+
+	check   bool
+	win     int
+	dist    Q
+	pending bool
+
+	samples int
+	events  []int
+	ops     *opcount.Counter
+}
+
+// QuantizeDetector builds a fixed-point monitor from a calibrated float
+// detector: every instance, centroid and threshold is quantised in one
+// shot.
+func QuantizeDetector(det *core.Detector) *Monitor {
+	m := det.Model()
+	classes := m.Classes()
+	mon := &Monitor{
+		dims:       m.Config().Inputs,
+		window:     det.Config().Window,
+		thetaError: FromFloat(det.ThetaError()),
+		thetaDrift: FromFloat(det.ThetaDrift()),
+		num:        make([]int32, classes),
+	}
+	for c := 0; c < classes; c++ {
+		mon.instances = append(mon.instances, QuantizeAutoencoder(m.Instance(c)))
+		mon.trainCor = append(mon.trainCor, QuantizeVec(det.TrainedCentroid(c)))
+		mon.cor = append(mon.cor, QuantizeVec(det.RecentCentroid(c)))
+		mon.num[c] = 1
+	}
+	return mon
+}
+
+// Result is the per-sample outcome of the quantised monitor.
+type Result struct {
+	// Label is the argmin-score class.
+	Label int
+	// Score is the winning reconstruction error.
+	Score Q
+	// DriftDetected is true exactly on the window close that crossed
+	// θ_drift.
+	DriftDetected bool
+}
+
+// SetOps attaches an operation counter to the monitor and instances.
+func (mon *Monitor) SetOps(c *opcount.Counter) {
+	mon.ops = c
+	for _, inst := range mon.instances {
+		inst.SetOps(c)
+	}
+}
+
+// DriftPending reports whether a drift was detected and the host has not
+// yet acknowledged it (ClearDrift).
+func (mon *Monitor) DriftPending() bool { return mon.pending }
+
+// ClearDrift acknowledges a pending drift, typically after the host has
+// shipped a retrained artifact.
+func (mon *Monitor) ClearDrift() { mon.pending = false }
+
+// Events returns sample indices of detections.
+func (mon *Monitor) Events() []int {
+	out := make([]int, len(mon.events))
+	copy(out, mon.events)
+	return out
+}
+
+// Process consumes one quantised sample.
+func (mon *Monitor) Process(x []Q) Result {
+	if len(x) != mon.dims {
+		panic(fmt.Sprintf("fixed: sample dimension %d, want %d", len(x), mon.dims))
+	}
+	mon.samples++
+
+	best, bestScore := 0, Q(0)
+	for c, inst := range mon.instances {
+		s := inst.Score(x)
+		if c == 0 || s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	mon.ops.AddCmp(len(mon.instances) - 1)
+	res := Result{Label: best, Score: bestScore}
+
+	if mon.pending {
+		// Awaiting host action; keep predicting, skip detection.
+		return res
+	}
+	if !mon.check && bestScore >= mon.thetaError {
+		mon.check = true
+		mon.win = 0
+	}
+	mon.ops.AddCmp(1)
+	if mon.check && mon.win < mon.window {
+		mon.updateCentroid(best, x)
+		mon.dist = mon.centroidDist()
+		mon.win++
+		if mon.win == mon.window {
+			mon.ops.AddCmp(1)
+			if mon.dist >= mon.thetaDrift {
+				mon.pending = true
+				mon.events = append(mon.events, mon.samples-1)
+				res.DriftDetected = true
+			}
+			mon.check = false
+		}
+	}
+	return res
+}
+
+// updateCentroid applies the running-mean rule in fixed point:
+// cor ← cor + (x − cor)/(n+1), the rearrangement that avoids the
+// overflow-prone cor·n product.
+func (mon *Monitor) updateCentroid(label int, x []Q) {
+	n := mon.num[label]
+	inv := Div(One, FromFloat(float64(n+1)))
+	row := mon.cor[label]
+	for j, v := range x {
+		row[j] = Add(row[j], Mul(Sub(v, row[j]), inv))
+	}
+	mon.num[label] = n + 1
+	mon.ops.AddMulAdd(2 * mon.dims)
+	mon.ops.AddDiv(1)
+}
+
+func (mon *Monitor) centroidDist() Q {
+	var total int64
+	for c := range mon.cor {
+		total += int64(L1DistAcc(mon.cor[c], mon.trainCor[c]))
+	}
+	mon.ops.AddAbs(len(mon.cor) * mon.dims)
+	mon.ops.AddAdd(len(mon.cor) * mon.dims)
+	return satur(total)
+}
+
+// MemoryBytes audits the monitor's retained state: 4-byte words for
+// every weight and centroid — the number that must fit the device.
+func (mon *Monitor) MemoryBytes() int {
+	const w = 4
+	total := 8 * w // scalars
+	for _, inst := range mon.instances {
+		total += w * (len(inst.w) + len(inst.bias) + len(inst.beta) + len(inst.h) + len(inst.recon))
+	}
+	for c := range mon.cor {
+		total += w * (len(mon.cor[c]) + len(mon.trainCor[c]))
+	}
+	total += 4 * len(mon.num)
+	return total
+}

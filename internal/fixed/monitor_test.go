@@ -1,0 +1,167 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/model"
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/oselm"
+	"edgedrift/internal/rng"
+	"edgedrift/internal/stats"
+)
+
+const (
+	monDims    = 6
+	monClasses = 2
+)
+
+func monSample(r *rng.Rand, c int, shift float64) []float64 {
+	x := make([]float64, monDims)
+	for j := range x {
+		x[j] = r.Normal(float64(c)*4+shift, 0.25)
+	}
+	return x
+}
+
+// calibratedFloatDetector trains and calibrates the float pipeline the
+// quantised monitor derives from.
+func calibratedFloatDetector(t *testing.T, seed uint64) (*core.Detector, *rng.Rand) {
+	t.Helper()
+	m, err := model.New(model.Config{Classes: monClasses, Inputs: monDims, Hidden: 8, Ridge: 1e-2, Metric: oselm.L1Mean}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 99)
+	xs := make([][]float64, 0, 400)
+	labels := make([]int, 0, 400)
+	var tail stats.Running
+	for i := 0; i < 400; i++ {
+		c := i % monClasses
+		x := monSample(r, c, 0)
+		_, score := m.Predict(x)
+		if i >= 200 {
+			tail.Observe(score)
+		}
+		m.Train(x, c)
+		xs = append(xs, x)
+		labels = append(labels, c)
+	}
+	cfg := core.DefaultConfig(30)
+	cfg.ErrorThreshold = tail.Mean() + 2*tail.Std()
+	det, err := core.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Calibrate(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	return det, r
+}
+
+func TestQuantizedScoresTrackFloat(t *testing.T) {
+	det, r := calibratedFloatDetector(t, 1)
+	mon := QuantizeDetector(det)
+	maxRel := 0.0
+	for i := 0; i < 100; i++ {
+		c := i % monClasses
+		x := monSample(r, c, 0)
+		_, fScore := det.Model().Predict(x)
+		res := mon.Process(QuantizeVec(x))
+		qScore := res.Score.Float()
+		rel := math.Abs(qScore-fScore) / (fScore + 1e-6)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	// L1-mean scores are O(0.1); quantisation noise must stay small
+	// relative to them.
+	if maxRel > 0.2 {
+		t.Fatalf("worst relative score error %v", maxRel)
+	}
+}
+
+func TestQuantizedLabelsAgreeWithFloat(t *testing.T) {
+	det, r := calibratedFloatDetector(t, 2)
+	mon := QuantizeDetector(det)
+	agree := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		c := i % monClasses
+		x := monSample(r, c, 0)
+		fLabel, _ := det.Model().Predict(x)
+		if mon.Process(QuantizeVec(x)).Label == fLabel {
+			agree++
+		}
+	}
+	if agree < n*99/100 {
+		t.Fatalf("label agreement %d/%d", agree, n)
+	}
+}
+
+func TestQuantizedMonitorDetectsDrift(t *testing.T) {
+	det, r := calibratedFloatDetector(t, 3)
+	mon := QuantizeDetector(det)
+	// Stationary phase: no detection.
+	for i := 0; i < 300; i++ {
+		if mon.Process(QuantizeVec(monSample(r, i%monClasses, 0))).DriftDetected {
+			t.Fatalf("false positive at %d", i)
+		}
+	}
+	// Drift phase.
+	detected := -1
+	for i := 0; i < 2000 && detected < 0; i++ {
+		if mon.Process(QuantizeVec(monSample(r, i%monClasses, 4))).DriftDetected {
+			detected = i
+		}
+	}
+	if detected < 0 {
+		t.Fatal("quantised monitor never detected the drift")
+	}
+	if !mon.DriftPending() {
+		t.Fatal("DriftPending should be set")
+	}
+	if len(mon.Events()) != 1 {
+		t.Fatalf("events %v", mon.Events())
+	}
+	// While pending, no further detections; predictions continue.
+	res := mon.Process(QuantizeVec(monSample(r, 0, 4)))
+	if res.DriftDetected {
+		t.Fatal("detection while pending")
+	}
+	mon.ClearDrift()
+	if mon.DriftPending() {
+		t.Fatal("ClearDrift failed")
+	}
+}
+
+func TestQuantizedMemorySmallerThanFloat(t *testing.T) {
+	det, _ := calibratedFloatDetector(t, 4)
+	mon := QuantizeDetector(det)
+	if mon.MemoryBytes() >= det.MemoryBytes()/2+64 {
+		t.Fatalf("quantised footprint %d not clearly below half of %d", mon.MemoryBytes(), det.MemoryBytes())
+	}
+}
+
+func TestQuantizedOpsCounted(t *testing.T) {
+	det, r := calibratedFloatDetector(t, 5)
+	mon := QuantizeDetector(det)
+	var ops opcount.Counter
+	mon.SetOps(&ops)
+	mon.Process(QuantizeVec(monSample(r, 0, 0)))
+	if ops.MulAdd == 0 {
+		t.Fatal("integer MACs not counted")
+	}
+}
+
+func TestProcessPanicsOnBadDims(t *testing.T) {
+	det, _ := calibratedFloatDetector(t, 6)
+	mon := QuantizeDetector(det)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mon.Process([]Q{1, 2})
+}

@@ -1,0 +1,468 @@
+// Package mat provides small, allocation-conscious dense linear algebra
+// primitives used by the OS-ELM learner and the SPLL drift detector.
+//
+// The package is deliberately minimal: row-major dense matrices of float64,
+// the handful of kernels sequential learning needs (multiply, rank-1
+// updates, symmetric inverses), and nothing else. It trades generality for
+// predictable memory behaviour, which is what the paper's resource-limited
+// setting is about: every retained buffer is visible and accountable.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix inversion or solve encounters a
+// pivot too small to divide by reliably.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// Matrix is a dense, row-major matrix of float64.
+//
+// The zero value is an empty matrix; use New or NewFromData to create a
+// sized one. Methods that write results take the receiver as destination
+// where practical so hot loops can reuse storage.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (i, j) is
+	// Data[i*Cols+j]. len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data (not copied) as an r×c matrix.
+func NewFromData(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(ErrShape)
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SetIdentity overwrites m (which must be square) with the identity.
+func (m *Matrix) SetIdentity() {
+	if m.Rows != m.Cols {
+		panic(ErrShape)
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddDiag adds s to every diagonal element of the square matrix m.
+func (m *Matrix) AddDiag(s float64) {
+	if m.Rows != m.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += s
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul computes dst = a·b. dst must not alias a or b; it is resized storage
+// allocated by the caller with shape a.Rows×b.Cols.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	n := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulNew returns a·b as a freshly allocated matrix.
+func MulNew(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	Mul(dst, a, b)
+	return dst
+}
+
+// MulTransA computes dst = aᵀ·b without materialising aᵀ.
+func MulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulVec computes dst = m·x for a vector x (len m.Cols) into dst
+// (len m.Rows). dst must not alias x.
+func MulVec(dst []float64, m *Matrix, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecTrans computes dst = mᵀ·x for x of length m.Rows into dst of
+// length m.Cols, without materialising mᵀ.
+func MulVecTrans(dst []float64, m *Matrix, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(ErrShape)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// AddScaledOuter performs the rank-1 update m ← m + s·u·vᵀ in place.
+// u has length m.Rows and v length m.Cols.
+func (m *Matrix) AddScaledOuter(s float64, u, v []float64) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		su := s * u[i]
+		if su == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, vv := range v {
+			row[j] += su * vv
+		}
+	}
+}
+
+// QuadForm returns xᵀ·m·x for the square matrix m.
+func (m *Matrix) QuadForm(x []float64) float64 {
+	if m.Rows != m.Cols || len(x) != m.Rows {
+		panic(ErrShape)
+	}
+	var total float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		total += x[i] * s
+	}
+	return total
+}
+
+// Inverse computes the inverse of the square matrix a into dst using
+// Gauss-Jordan elimination with partial pivoting. dst and a may alias.
+func Inverse(dst, a *Matrix) error {
+	if a.Rows != a.Cols || dst.Rows != dst.Cols || dst.Rows != a.Rows {
+		panic(ErrShape)
+	}
+	n := a.Rows
+	// Work on an augmented copy so aliasing is safe.
+	work := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(work.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := work.At(col, col)
+		invP := 1 / p
+		scaleRow(work, col, invP)
+		scaleRow(inv, col, invP)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(work, r, col, -f)
+			axpyRow(inv, r, col, -f)
+		}
+	}
+	dst.CopyFrom(inv)
+	return nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(m *Matrix, i int, s float64) {
+	row := m.Row(i)
+	for k := range row {
+		row[k] *= s
+	}
+}
+
+// axpyRow adds f times row j to row i.
+func axpyRow(m *Matrix, i, j int, f float64) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k] += f * rj[k]
+	}
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of the
+// symmetric positive-definite matrix a (a = L·Lᵀ) into dst. dst and a may
+// alias. Returns ErrSingular if a is not positive definite.
+func Cholesky(dst, a *Matrix) error {
+	if a.Rows != a.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic(ErrShape)
+	}
+	n := a.Rows
+	l := dst
+	if l != a {
+		l.CopyFrom(a)
+	}
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	// Zero the strict upper triangle so dst is exactly L.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// CholeskySolveVec solves (L·Lᵀ)·x = b given the Cholesky factor L,
+// writing x into dst. dst and b may alias.
+func CholeskySolveVec(dst []float64, l *Matrix, b []float64) {
+	n := l.Rows
+	if len(b) != n || len(dst) != n {
+		panic(ErrShape)
+	}
+	// Forward substitution: L·y = b.
+	y := dst
+	if &y[0] != &b[0] {
+		copy(y, b)
+	}
+	for i := 0; i < n; i++ {
+		s := y[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+}
+
+// RidgeGram computes dst = aᵀ·a + λ·I, the regularised Gram matrix used to
+// initialise OS-ELM and SPLL covariance estimates.
+func RidgeGram(dst, a *Matrix, lambda float64) {
+	if dst.Rows != a.Cols || dst.Cols != a.Cols {
+		panic(ErrShape)
+	}
+	MulTransA(dst, a, a)
+	dst.AddDiag(lambda)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// a and b; useful for approximate-equality assertions.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	var m float64
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SymmetrizeInPlace replaces m with (m + mᵀ)/2, repairing the small
+// asymmetries rank-1 updates accumulate on covariance-like matrices.
+func (m *Matrix) SymmetrizeInPlace() {
+	if m.Rows != m.Cols {
+		panic(ErrShape)
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// String renders a small matrix for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,182 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrShape)
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AxpyVec performs y ← y + s·x element-wise.
+func AxpyVec(y []float64, s float64, x []float64) {
+	if len(x) != len(y) {
+		panic(ErrShape)
+	}
+	for i, v := range x {
+		y[i] += s * v
+	}
+}
+
+// ScaleVec multiplies x by s in place.
+func ScaleVec(x []float64, s float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// SubVec computes dst = a − b element-wise. dst may alias a or b.
+func SubVec(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(ErrShape)
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// AddVec computes dst = a + b element-wise. dst may alias a or b.
+func AddVec(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(ErrShape)
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// L1Dist returns the Manhattan distance Σ|aᵢ−bᵢ| — the metric Algorithm 1
+// of the paper uses for centroid drift (line 14).
+func L1Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrShape)
+	}
+	var s float64
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+// L2Dist returns the Euclidean distance between a and b.
+func L2Dist(a, b []float64) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrShape)
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MeanVec computes the element-wise mean of rows into dst (len = row
+// length). rows must be non-empty and rectangular.
+func MeanVec(dst []float64, rows [][]float64) {
+	if len(rows) == 0 {
+		panic("mat: MeanVec of empty set")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, r := range rows {
+		if len(r) != len(dst) {
+			panic(ErrShape)
+		}
+		for i, v := range r {
+			dst[i] += v
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// RunningMeanUpdate folds sample x into the running mean held in mean with
+// prior count n, returning the new count. This is the sequential centroid
+// update of Algorithm 1 line 12 and Algorithm 4 line 3:
+//
+//	mean ← (mean·n + x) / (n + 1)
+func RunningMeanUpdate(mean []float64, n int, x []float64) int {
+	if len(mean) != len(x) {
+		panic(ErrShape)
+	}
+	fn := float64(n)
+	inv := 1 / (fn + 1)
+	for i, v := range x {
+		mean[i] = (mean[i]*fn + v) * inv
+	}
+	return n + 1
+}
+
+// EWMAUpdate folds x into mean with weight gamma on the new sample:
+// mean ← (1−γ)·mean + γ·x. This implements the paper's remark that recent
+// test centroids may weight newer samples more heavily.
+func EWMAUpdate(mean []float64, gamma float64, x []float64) {
+	if len(mean) != len(x) {
+		panic(ErrShape)
+	}
+	keep := 1 - gamma
+	for i, v := range x {
+		mean[i] = keep*mean[i] + gamma*v
+	}
+}
+
+// ArgMin returns the index of the smallest value in xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("mat: ArgMin of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest value in xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("mat: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"edgedrift/internal/oselm"
+)
+
+// multiMagic identifies a serialised multi-instance model (version 1).
+var multiMagic = [6]byte{'M', 'U', 'L', 'T', 'I', '1'}
+
+// ErrBadFormat reports a stream that is not a serialised multi-instance
+// model of a known version.
+var ErrBadFormat = errors.New("model: not a serialised multi-instance model (or unsupported version)")
+
+// Save serialises the model — configuration plus every instance — so a
+// host-trained model can be shipped to a device (use oselm.Float32 for
+// the halved deployment footprint).
+func (m *Multi) Save(w io.Writer, prec oselm.Precision) (int64, error) {
+	var n int64
+	if k, err := w.Write(multiMagic[:]); err != nil {
+		return int64(k), err
+	}
+	n += int64(len(multiMagic))
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], uint32(m.cfg.Classes))
+	if _, err := w.Write(head[:]); err != nil {
+		return n, err
+	}
+	n += 4
+	for i, ae := range m.instances {
+		k, err := ae.Save(w, prec)
+		n += k
+		if err != nil {
+			return n, fmt.Errorf("model: instance %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// Load deserialises a model written by Save.
+func Load(r io.Reader) (*Multi, error) {
+	var got [6]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, fmt.Errorf("model: load header: %w", err)
+	}
+	if got != multiMagic {
+		return nil, ErrBadFormat
+	}
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	classes := int(binary.LittleEndian.Uint32(head[:]))
+	if classes <= 0 || classes > 1<<20 {
+		return nil, ErrBadFormat
+	}
+	m := &Multi{
+		instances: make([]*oselm.Autoencoder, classes),
+		scores:    make([]float64, classes),
+	}
+	for i := range m.instances {
+		ae, err := oselm.LoadAutoencoder(r)
+		if err != nil {
+			return nil, fmt.Errorf("model: instance %d: %w", i, err)
+		}
+		m.instances[i] = ae
+	}
+	c0 := m.instances[0].Model().Config()
+	m.cfg = Config{
+		Classes:     classes,
+		Inputs:      c0.Inputs,
+		Hidden:      c0.Hidden,
+		Forgetting:  c0.Forgetting,
+		Ridge:       c0.Ridge,
+		WeightScale: c0.WeightScale,
+	}
+	for i, ae := range m.instances[1:] {
+		ci := ae.Model().Config()
+		if ci.Inputs != c0.Inputs {
+			return nil, fmt.Errorf("model: instance %d dimension %d differs from %d", i+1, ci.Inputs, c0.Inputs)
+		}
+	}
+	return m, nil
+}

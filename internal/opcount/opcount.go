@@ -1,0 +1,114 @@
+// Package opcount provides a lightweight floating-point operation counter.
+//
+// The paper evaluates execution time on two very different processors
+// (Cortex-A72 with a hardware FPU, Cortex-M0+ with software floats under
+// an interpreted runtime). Rather than guessing stage costs, the compute
+// kernels in this reproduction increment a Counter when one is attached;
+// internal/device then converts counted operations into device time with
+// per-platform cycle costs. Counting is optional — a nil *Counter adds a
+// single branch to hot loops' call sites and nothing else.
+package opcount
+
+// Counter tallies classes of floating-point work. The zero value is ready
+// to use.
+type Counter struct {
+	// MulAdd counts fused multiply-accumulate-equivalent operations
+	// (one multiply plus one add), the dominant cost of matrix kernels.
+	MulAdd uint64
+	// Add counts standalone additions/subtractions.
+	Add uint64
+	// Mul counts standalone multiplications.
+	Mul uint64
+	// Div counts divisions.
+	Div uint64
+	// Exp counts transcendental evaluations (exp in the sigmoid).
+	Exp uint64
+	// Abs counts absolute-value operations (L1 distances).
+	Abs uint64
+	// Cmp counts floating-point comparisons (argmin scans, thresholds).
+	Cmp uint64
+}
+
+// AddMulAdd records n multiply-accumulate operations.
+func (c *Counter) AddMulAdd(n int) {
+	if c != nil {
+		c.MulAdd += uint64(n)
+	}
+}
+
+// AddAdd records n additions.
+func (c *Counter) AddAdd(n int) {
+	if c != nil {
+		c.Add += uint64(n)
+	}
+}
+
+// AddMul records n multiplications.
+func (c *Counter) AddMul(n int) {
+	if c != nil {
+		c.Mul += uint64(n)
+	}
+}
+
+// AddDiv records n divisions.
+func (c *Counter) AddDiv(n int) {
+	if c != nil {
+		c.Div += uint64(n)
+	}
+}
+
+// AddExp records n transcendental evaluations.
+func (c *Counter) AddExp(n int) {
+	if c != nil {
+		c.Exp += uint64(n)
+	}
+}
+
+// AddAbs records n absolute-value operations.
+func (c *Counter) AddAbs(n int) {
+	if c != nil {
+		c.Abs += uint64(n)
+	}
+}
+
+// AddCmp records n comparisons.
+func (c *Counter) AddCmp(n int) {
+	if c != nil {
+		c.Cmp += uint64(n)
+	}
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// Sub returns the element-wise difference c − o, for measuring a region
+// between two snapshots.
+func (c Counter) Sub(o Counter) Counter {
+	return Counter{
+		MulAdd: c.MulAdd - o.MulAdd,
+		Add:    c.Add - o.Add,
+		Mul:    c.Mul - o.Mul,
+		Div:    c.Div - o.Div,
+		Exp:    c.Exp - o.Exp,
+		Abs:    c.Abs - o.Abs,
+		Cmp:    c.Cmp - o.Cmp,
+	}
+}
+
+// AddCounter accumulates o into c.
+func (c *Counter) AddCounter(o Counter) {
+	c.MulAdd += o.MulAdd
+	c.Add += o.Add
+	c.Mul += o.Mul
+	c.Div += o.Div
+	c.Exp += o.Exp
+	c.Abs += o.Abs
+	c.Cmp += o.Cmp
+}
+
+// Total returns the total number of counted operations, weighting every
+// class equally. Device models apply per-class weights instead; Total is
+// a convenience for tests and quick comparisons.
+func (c Counter) Total() uint64 {
+	return c.MulAdd + c.Add + c.Mul + c.Div + c.Exp + c.Abs + c.Cmp
+}

@@ -1,0 +1,56 @@
+package opcount
+
+import "testing"
+
+func TestNilCounterSafe(t *testing.T) {
+	var c *Counter
+	c.AddMulAdd(5)
+	c.AddAdd(1)
+	c.AddMul(1)
+	c.AddDiv(1)
+	c.AddExp(1)
+	c.AddAbs(1)
+	c.AddCmp(1) // must not panic
+}
+
+func TestAccumulationAndTotal(t *testing.T) {
+	var c Counter
+	c.AddMulAdd(10)
+	c.AddAdd(2)
+	c.AddMul(3)
+	c.AddDiv(4)
+	c.AddExp(5)
+	c.AddAbs(6)
+	c.AddCmp(7)
+	if c.Total() != 37 {
+		t.Fatalf("Total = %d, want 37", c.Total())
+	}
+}
+
+func TestSubAndAddCounter(t *testing.T) {
+	var a Counter
+	a.AddMulAdd(10)
+	a.AddDiv(3)
+	snap := a
+	a.AddMulAdd(5)
+	a.AddExp(2)
+	d := a.Sub(snap)
+	if d.MulAdd != 5 || d.Exp != 2 || d.Div != 0 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	var acc Counter
+	acc.AddCounter(d)
+	acc.AddCounter(d)
+	if acc.MulAdd != 10 || acc.Exp != 4 {
+		t.Fatalf("AddCounter = %+v", acc)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counter
+	c.AddMulAdd(1)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}

@@ -1,0 +1,120 @@
+package oselm
+
+import (
+	"math"
+
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/rng"
+)
+
+// ScoreMetric selects how an autoencoder turns a reconstruction residual
+// into a scalar anomaly score.
+type ScoreMetric int
+
+const (
+	// MSE is the mean squared reconstruction error, the default.
+	MSE ScoreMetric = iota
+	// L1Mean is the mean absolute reconstruction error.
+	L1Mean
+	// L2Norm is the Euclidean norm of the residual.
+	L2Norm
+)
+
+// String implements fmt.Stringer.
+func (s ScoreMetric) String() string {
+	switch s {
+	case MSE:
+		return "mse"
+	case L1Mean:
+		return "l1"
+	case L2Norm:
+		return "l2"
+	default:
+		return "unknown"
+	}
+}
+
+// Autoencoder wraps an OS-ELM whose targets are its inputs, yielding the
+// unsupervised anomaly detector of the paper's §3.1: the reconstruction
+// error is the anomaly score, and training on a sample pulls the score
+// for similar samples down.
+type Autoencoder struct {
+	model  *Model
+	metric ScoreMetric
+	recon  []float64
+}
+
+// NewAutoencoder builds an autoencoder with the given input dimension,
+// hidden width and general model options taken from cfg (Outputs is
+// forced equal to Inputs).
+func NewAutoencoder(cfg Config, metric ScoreMetric, r *rng.Rand) (*Autoencoder, error) {
+	cfg.Outputs = cfg.Inputs
+	m, err := New(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Autoencoder{model: m, metric: metric, recon: make([]float64, cfg.Inputs)}, nil
+}
+
+// Score returns the reconstruction-error anomaly score of x.
+func (a *Autoencoder) Score(x []float64) float64 {
+	a.model.Predict(a.recon, x)
+	ops := a.model.ops
+	d := len(x)
+	switch a.metric {
+	case L1Mean:
+		var s float64
+		for i, v := range x {
+			s += math.Abs(v - a.recon[i])
+		}
+		ops.AddAbs(d)
+		ops.AddAdd(d)
+		ops.AddDiv(1)
+		return s / float64(d)
+	case L2Norm:
+		var s float64
+		for i, v := range x {
+			r := v - a.recon[i]
+			s += r * r
+		}
+		ops.AddMulAdd(d)
+		ops.AddAdd(d)
+		return math.Sqrt(s)
+	default: // MSE
+		var s float64
+		for i, v := range x {
+			r := v - a.recon[i]
+			s += r * r
+		}
+		ops.AddMulAdd(d)
+		ops.AddAdd(d)
+		ops.AddDiv(1)
+		return s / float64(d)
+	}
+}
+
+// Train folds x into the autoencoder (target = input).
+func (a *Autoencoder) Train(x []float64) { a.model.Train(x, x) }
+
+// InitTrainBatch batch-initialises the autoencoder on xs.
+func (a *Autoencoder) InitTrainBatch(xs [][]float64) error {
+	return a.model.InitTrainBatch(xs, xs)
+}
+
+// Reset clears learned state, keeping the random projection (see
+// Model.Reset).
+func (a *Autoencoder) Reset() { a.model.Reset() }
+
+// Model exposes the underlying OS-ELM.
+func (a *Autoencoder) Model() *Model { return a.model }
+
+// SetOps attaches an operation counter to the underlying model.
+func (a *Autoencoder) SetOps(c *opcount.Counter) { a.model.SetOps(c) }
+
+// SamplesSeen reports sequential samples since creation or Reset.
+func (a *Autoencoder) SamplesSeen() int { return a.model.SamplesSeen() }
+
+// MemoryBytes reports retained state including the reconstruction buffer.
+func (a *Autoencoder) MemoryBytes() int {
+	return a.model.MemoryBytes() + 8*len(a.recon)
+}

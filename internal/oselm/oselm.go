@@ -1,0 +1,307 @@
+// Package oselm implements the Online Sequential Extreme Learning Machine
+// (Liang et al. 2006) and its forgetting-factor variant used by ONLAD
+// (Tsukada et al. 2020) — the discriminative substrate of the paper.
+//
+// An OS-ELM is a single-hidden-layer network y = β·g(W·x + b) whose input
+// weights W and biases b are random and fixed; only the output weights β
+// are learned, by recursive least squares. With the training chunk size
+// fixed to one — the configuration the paper uses so "pseudo inverse
+// operation of matrixes can be eliminated" — the update is a rank-1
+// Sherman-Morrison recursion over the H×H matrix P:
+//
+//	P ← P − P·h·hᵀ·P / (1 + hᵀ·P·h)
+//	β ← β + P·h·(tᵀ − hᵀ·β)
+//
+// With a forgetting factor α ∈ (0,1] (ONLAD), older samples decay:
+//
+//	P ← (1/α)·(P − P·h·hᵀ·P / (α + hᵀ·P·h))
+//
+// Memory per model is H² + H·M + H·D + H floats — independent of how many
+// samples have been seen, which is what fits in a 264 kB microcontroller.
+package oselm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgedrift/internal/mat"
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/rng"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+const (
+	// Sigmoid is g(z) = 1/(1+e^(−z)), the paper's default.
+	Sigmoid Activation = iota
+	// Tanh is g(z) = tanh(z).
+	Tanh
+	// Linear is g(z) = z (useful for testing the RLS algebra exactly).
+	Linear
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Config describes an OS-ELM instance.
+type Config struct {
+	// Inputs is the input dimension D (required).
+	Inputs int
+	// Hidden is the hidden-layer width H (required).
+	Hidden int
+	// Outputs is the output dimension M (required; equals Inputs for the
+	// autoencoder use).
+	Outputs int
+	// Activation selects the hidden nonlinearity; default Sigmoid.
+	Activation Activation
+	// Forgetting is the ONLAD forgetting factor α. Zero means 1 (no
+	// forgetting, plain OS-ELM). Must lie in (0, 1].
+	Forgetting float64
+	// Ridge is the regularisation λ used for P's initialisation
+	// (P₀ = (1/λ)·I when training starts purely sequentially, or
+	// (HᵀH + λI)⁻¹ for batch initialisation). Zero means 1e-3.
+	Ridge float64
+	// WeightScale bounds the uniform draw for W and b, [−s, s]. Zero
+	// means 1.
+	WeightScale float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Inputs <= 0 || c.Hidden <= 0 || c.Outputs <= 0 {
+		return c, fmt.Errorf("oselm: dimensions must be positive, got D=%d H=%d M=%d", c.Inputs, c.Hidden, c.Outputs)
+	}
+	if c.Forgetting == 0 {
+		c.Forgetting = 1
+	}
+	if c.Forgetting <= 0 || c.Forgetting > 1 {
+		return c, fmt.Errorf("oselm: forgetting factor %v out of (0,1]", c.Forgetting)
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 1e-3
+	}
+	if c.Ridge < 0 {
+		return c, errors.New("oselm: negative ridge")
+	}
+	if c.WeightScale == 0 {
+		c.WeightScale = 1
+	}
+	return c, nil
+}
+
+// Model is an OS-ELM instance. It is not safe for concurrent use.
+type Model struct {
+	cfg Config
+
+	w    *mat.Matrix // Hidden×Inputs random input weights
+	bias []float64   // Hidden biases
+	beta *mat.Matrix // Hidden×Outputs learned output weights
+	p    *mat.Matrix // Hidden×Hidden inverse-covariance state
+
+	// scratch buffers reused across calls
+	h     []float64 // hidden activations
+	ph    []float64 // P·h
+	e     []float64 // residual tᵀ − hᵀβ
+	ops   *opcount.Counter
+	inits int // samples consumed since last Reset (sequential-only training)
+}
+
+// New creates a model with random input weights drawn from r and the
+// purely sequential initialisation P = (1/λ)·I, β = 0. This is the
+// configuration deployable on a microcontroller: no batch pseudo-inverse
+// ever happens.
+func New(cfg Config, r *rng.Rand) (*Model, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:  c,
+		w:    mat.New(c.Hidden, c.Inputs),
+		bias: make([]float64, c.Hidden),
+		beta: mat.New(c.Hidden, c.Outputs),
+		p:    mat.New(c.Hidden, c.Hidden),
+		h:    make([]float64, c.Hidden),
+		ph:   make([]float64, c.Hidden),
+		e:    make([]float64, c.Outputs),
+	}
+	r.FillUniform(m.w.Data, -c.WeightScale, c.WeightScale)
+	r.FillUniform(m.bias, -c.WeightScale, c.WeightScale)
+	m.resetState()
+	return m, nil
+}
+
+// resetState restores the sequential-learning start state, keeping the
+// random projection.
+func (m *Model) resetState() {
+	m.beta.Zero()
+	m.p.Zero()
+	m.p.AddDiag(1 / m.cfg.Ridge)
+	m.inits = 0
+}
+
+// Reset clears everything learned (β and P) while keeping the fixed
+// random input weights, which is how the proposed method reconstructs a
+// model after a drift: the projection stays, the least-squares state
+// restarts.
+func (m *Model) Reset() { m.resetState() }
+
+// Config returns the (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// SamplesSeen returns the number of sequential training samples folded in
+// since creation or the last Reset.
+func (m *Model) SamplesSeen() int { return m.inits }
+
+// SetOps attaches an operation counter (nil detaches).
+func (m *Model) SetOps(c *opcount.Counter) { m.ops = c }
+
+// hiddenInto computes the hidden activation vector for x into dst.
+func (m *Model) hiddenInto(dst, x []float64) {
+	if len(x) != m.cfg.Inputs {
+		panic(fmt.Sprintf("oselm: input dimension %d, want %d", len(x), m.cfg.Inputs))
+	}
+	mat.MulVec(dst, m.w, x)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Inputs)
+	for i := range dst {
+		z := dst[i] + m.bias[i]
+		switch m.cfg.Activation {
+		case Sigmoid:
+			dst[i] = 1 / (1 + math.Exp(-z))
+		case Tanh:
+			dst[i] = math.Tanh(z)
+		case Linear:
+			dst[i] = z
+		}
+	}
+	m.ops.AddAdd(m.cfg.Hidden)
+	if m.cfg.Activation != Linear {
+		m.ops.AddExp(m.cfg.Hidden)
+		m.ops.AddDiv(m.cfg.Hidden)
+	}
+}
+
+// Predict writes the network output for x into dst (len Outputs) and
+// returns dst. If dst is nil a new slice is allocated.
+func (m *Model) Predict(dst, x []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.cfg.Outputs)
+	}
+	if len(dst) != m.cfg.Outputs {
+		panic("oselm: bad output buffer length")
+	}
+	m.hiddenInto(m.h, x)
+	mat.MulVecTrans(dst, m.beta, m.h)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+	return dst
+}
+
+// Train folds one (x, t) sample into the model with the rank-1 RLS
+// update. This is the only training path used at deployment time.
+func (m *Model) Train(x, t []float64) {
+	if len(t) != m.cfg.Outputs {
+		panic(fmt.Sprintf("oselm: target dimension %d, want %d", len(t), m.cfg.Outputs))
+	}
+	h := m.h
+	m.hiddenInto(h, x)
+
+	// ph = P·h
+	mat.MulVec(m.ph, m.p, h)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Hidden)
+
+	alpha := m.cfg.Forgetting
+	denom := alpha + mat.Dot(h, m.ph)
+	m.ops.AddMulAdd(m.cfg.Hidden)
+	m.ops.AddAdd(1)
+
+	// P ← (P − ph·phᵀ/denom) / alpha
+	m.p.AddScaledOuter(-1/denom, m.ph, m.ph)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Hidden)
+	m.ops.AddDiv(1)
+	if alpha != 1 {
+		m.p.Scale(1 / alpha)
+		m.ops.AddMul(m.cfg.Hidden * m.cfg.Hidden)
+	}
+
+	// e = t − βᵀh (residual against the *pre-update* β, using post-update
+	// P per the OS-ELM recursion: β ← β + P·h·eᵀ).
+	mat.MulVecTrans(m.e, m.beta, h)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+	for i := range m.e {
+		m.e[i] = t[i] - m.e[i]
+	}
+	m.ops.AddAdd(m.cfg.Outputs)
+
+	// gain k = P·h (with the updated P).
+	mat.MulVec(m.ph, m.p, h)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Hidden)
+	m.beta.AddScaledOuter(1, m.ph, m.e)
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+
+	m.inits++
+}
+
+// InitTrainBatch performs the classic OS-ELM batch initialisation from
+// N₀ ≥ 1 samples: P = (HᵀH + λI)⁻¹, β = P·Hᵀ·T. The paper's deployed
+// configuration avoids this path on-device; it is provided for parity
+// with the original algorithm and for host-side initial training.
+func (m *Model) InitTrainBatch(xs, ts [][]float64) error {
+	if len(xs) == 0 || len(xs) != len(ts) {
+		return fmt.Errorf("oselm: batch init needs matched non-empty samples, got %d/%d", len(xs), len(ts))
+	}
+	n := len(xs)
+	hm := mat.New(n, m.cfg.Hidden)
+	tm := mat.New(n, m.cfg.Outputs)
+	for i, x := range xs {
+		m.hiddenInto(hm.Row(i), x)
+		t := ts[i]
+		if len(t) != m.cfg.Outputs {
+			return fmt.Errorf("oselm: target %d has dimension %d, want %d", i, len(t), m.cfg.Outputs)
+		}
+		copy(tm.Row(i), t)
+	}
+	gram := mat.New(m.cfg.Hidden, m.cfg.Hidden)
+	mat.RidgeGram(gram, hm, m.cfg.Ridge)
+	if err := mat.Inverse(m.p, gram); err != nil {
+		return fmt.Errorf("oselm: batch init: %w", err)
+	}
+	ht := mat.New(m.cfg.Hidden, m.cfg.Outputs)
+	mat.MulTransA(ht, hm, tm)
+	mat.Mul(m.beta, m.p, ht)
+	m.inits = n
+	return nil
+}
+
+// Beta returns a deep copy of the learned output weights, mainly for
+// tests and serialisation.
+func (m *Model) Beta() *mat.Matrix { return m.beta.Clone() }
+
+// Weights returns views of the raw parameters — input weights W
+// (row-major Hidden×Inputs), biases, and output weights β (row-major
+// Hidden×Outputs) — for quantisation and export. Callers must not
+// mutate them.
+func (m *Model) Weights() (w, bias, beta []float64) {
+	return m.w.Data, m.bias, m.beta.Data
+}
+
+// MemoryBytes reports the number of bytes of persistent state the model
+// retains (the quantity audited in the paper's Table 4). Scratch buffers
+// are included since a deployed implementation must also hold them.
+func (m *Model) MemoryBytes() int {
+	const f = 8 // float64
+	persistent := len(m.w.Data) + len(m.bias) + len(m.beta.Data) + len(m.p.Data)
+	scratch := len(m.h) + len(m.ph) + len(m.e)
+	return f * (persistent + scratch)
+}

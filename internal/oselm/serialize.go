@@ -1,0 +1,244 @@
+package oselm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"edgedrift/internal/mat"
+)
+
+// Precision selects the on-wire float width for saved models.
+type Precision byte
+
+const (
+	// Float64 round-trips the model exactly.
+	Float64 Precision = 0
+	// Float32 halves the artifact size for microcontroller deployment at
+	// the cost of ~7 decimal digits; the paper's Pico port stores its
+	// weights this way.
+	Float32 Precision = 1
+)
+
+// magic identifies a serialised OS-ELM model (format version 1).
+var magic = [6]byte{'O', 'S', 'E', 'L', 'M', '1'}
+
+// ErrBadFormat reports a stream that is not a serialised model of a
+// known version.
+var ErrBadFormat = errors.New("oselm: not a serialised OS-ELM model (or unsupported version)")
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeFloats(w io.Writer, prec Precision, xs []float64) error {
+	if prec == Float32 {
+		buf := make([]byte, 4*len(xs))
+		for i, v := range xs {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(v)))
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+	buf := make([]byte, 8*len(xs))
+	for i, v := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, prec Precision, dst []float64) error {
+	if prec == Float32 {
+		buf := make([]byte, 4*len(dst))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+		return nil
+	}
+	buf := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeF64(w io.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// Save serialises the model (random projection, learned state and
+// configuration) to w in a versioned little-endian format. It returns
+// the number of bytes written.
+func (m *Model) Save(w io.Writer, prec Precision) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte{byte(prec)}); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []uint32{
+		uint32(m.cfg.Inputs), uint32(m.cfg.Hidden), uint32(m.cfg.Outputs),
+		uint32(m.cfg.Activation), uint32(m.inits),
+	} {
+		if err := writeU32(cw, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, v := range []float64{m.cfg.Forgetting, m.cfg.Ridge, m.cfg.WeightScale} {
+		if err := writeF64(cw, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
+		if err := writeFloats(cw, prec, xs); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// Load deserialises a model written by Save. The returned model is ready
+// to predict and to continue sequential training.
+func Load(r io.Reader) (*Model, error) {
+	var got [6]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, fmt.Errorf("oselm: load header: %w", err)
+	}
+	if got != magic {
+		return nil, ErrBadFormat
+	}
+	var precByte [1]byte
+	if _, err := io.ReadFull(r, precByte[:]); err != nil {
+		return nil, err
+	}
+	prec := Precision(precByte[0])
+	if prec != Float64 && prec != Float32 {
+		return nil, ErrBadFormat
+	}
+	var u [5]uint32
+	for i := range u {
+		v, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		u[i] = v
+	}
+	var f [3]float64
+	for i := range f {
+		v, err := readF64(r)
+		if err != nil {
+			return nil, err
+		}
+		f[i] = v
+	}
+	cfg := Config{
+		Inputs:      int(u[0]),
+		Hidden:      int(u[1]),
+		Outputs:     int(u[2]),
+		Activation:  Activation(u[3]),
+		Forgetting:  f[0],
+		Ridge:       f[1],
+		WeightScale: f[2],
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("oselm: load config: %w", err)
+	}
+	m := newEmpty(c)
+	for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
+		if err := readFloats(r, prec, xs); err != nil {
+			return nil, fmt.Errorf("oselm: load weights: %w", err)
+		}
+	}
+	m.inits = int(u[4])
+	return m, nil
+}
+
+// newEmpty allocates a model without drawing random weights (they will
+// be overwritten by a load).
+func newEmpty(c Config) *Model {
+	return &Model{
+		cfg:  c,
+		w:    mat.New(c.Hidden, c.Inputs),
+		bias: make([]float64, c.Hidden),
+		beta: mat.New(c.Hidden, c.Outputs),
+		p:    mat.New(c.Hidden, c.Hidden),
+		h:    make([]float64, c.Hidden),
+		ph:   make([]float64, c.Hidden),
+		e:    make([]float64, c.Outputs),
+	}
+}
+
+// SaveAutoencoder serialises an autoencoder (its model plus the score
+// metric).
+func (a *Autoencoder) Save(w io.Writer, prec Precision) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := writeU32(cw, uint32(a.metric)); err != nil {
+		return cw.n, err
+	}
+	n, err := a.model.Save(cw, prec)
+	return 4 + n, err
+}
+
+// LoadAutoencoder deserialises an autoencoder written by Save.
+func LoadAutoencoder(r io.Reader) (*Autoencoder, error) {
+	metric, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.Inputs != m.cfg.Outputs {
+		return nil, errors.New("oselm: serialised model is not an autoencoder")
+	}
+	return &Autoencoder{
+		model:  m,
+		metric: ScoreMetric(metric),
+		recon:  make([]float64, m.cfg.Inputs),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-range, equal-width histogram of a scalar stream.
+// Samples outside [Lo, Hi) are clamped into the edge bins so no
+// observation is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v,%v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, bins)}
+}
+
+// Observe adds x to the histogram.
+func (h *Histogram) Observe(x float64) {
+	idx := h.binOf(x)
+	h.counts[idx]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) {
+		return 0
+	}
+	f := (x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts))
+	idx := int(math.Floor(f))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return idx
+}
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int {
+	c := make([]int, len(h.counts))
+	copy(c, h.counts)
+	return c
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Probabilities returns the empirical bin probabilities (uniform over bins
+// when the histogram is empty, so it is always a valid distribution).
+func (h *Histogram) Probabilities() []float64 {
+	p := make([]float64, len(h.counts))
+	if h.total == 0 {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return p
+	}
+	inv := 1 / float64(h.total)
+	for i, c := range h.counts {
+		p[i] = float64(c) * inv
+	}
+	return p
+}
+
+// Reset zeroes all counts.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}

@@ -1,0 +1,125 @@
+package stats
+
+import "math"
+
+// Running accumulates count, mean and variance of a scalar stream in O(1)
+// memory using Welford's algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe folds x into the accumulator.
+func (r *Running) Observe(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance (0 with fewer than 2 observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVar returns the unbiased sample variance (0 with <2 observations).
+func (r *Running) SampleVar() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { *r = Running{} }
+
+// Merge combines another accumulator into r (Chan et al. parallel form),
+// as if r had also observed everything o observed.
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	nA, nB := float64(r.n), float64(o.n)
+	delta := o.mean - r.mean
+	total := nA + nB
+	r.mean += delta * nB / total
+	r.m2 += o.m2 + delta*delta*nA*nB/total
+	r.n += o.n
+}
+
+// RunningVec accumulates per-dimension mean and variance of a vector
+// stream, O(D) memory. Used for feature standardisation and dataset
+// diagnostics.
+type RunningVec struct {
+	n    int
+	mean []float64
+	m2   []float64
+}
+
+// NewRunningVec returns an accumulator for dim-dimensional vectors.
+func NewRunningVec(dim int) *RunningVec {
+	return &RunningVec{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Observe folds the vector x into the accumulator.
+func (r *RunningVec) Observe(x []float64) {
+	if len(x) != len(r.mean) {
+		panic("stats: RunningVec dimension mismatch")
+	}
+	r.n++
+	fn := float64(r.n)
+	for i, v := range x {
+		d := v - r.mean[i]
+		r.mean[i] += d / fn
+		r.m2[i] += d * (v - r.mean[i])
+	}
+}
+
+// N returns the number of observations.
+func (r *RunningVec) N() int { return r.n }
+
+// Mean returns the per-dimension mean (a view; do not mutate).
+func (r *RunningVec) Mean() []float64 { return r.mean }
+
+// Std writes the per-dimension population standard deviation into dst.
+func (r *RunningVec) Std(dst []float64) {
+	if len(dst) != len(r.mean) {
+		panic("stats: RunningVec dimension mismatch")
+	}
+	if r.n < 2 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	fn := float64(r.n)
+	for i := range dst {
+		dst[i] = math.Sqrt(r.m2[i] / fn)
+	}
+}
+
+// Reset clears the accumulator, keeping the dimension.
+func (r *RunningVec) Reset() {
+	r.n = 0
+	for i := range r.mean {
+		r.mean[i] = 0
+		r.m2[i] = 0
+	}
+}

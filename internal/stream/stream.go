@@ -1,0 +1,206 @@
+// Package stream provides labelled-stream I/O and replay utilities: CSV
+// loading/saving in the layout cmd/datagen emits, and iteration helpers
+// the CLI tools use to feed monitors.
+//
+// The CSV layout is one row per sample: feature columns (any names),
+// optionally followed by a final integer column named "label". This is
+// deliberately the least-structured format that round-trips through
+// spreadsheet tools, so users can evaluate the library on their own data
+// — including the real NSL-KDD or cooling-fan datasets the paper used —
+// without writing Go.
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Data is a labelled (or unlabelled) sample stream held in memory.
+type Data struct {
+	// X[i] is sample i.
+	X [][]float64
+	// Y[i] is sample i's integer label; nil when the stream is
+	// unlabelled.
+	Y []int
+	// FeatureNames are the CSV column headers (excluding "label").
+	FeatureNames []string
+}
+
+// Dims returns the feature dimension (0 for an empty stream).
+func (d *Data) Dims() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Len returns the number of samples.
+func (d *Data) Len() int { return len(d.X) }
+
+// Labelled reports whether the stream carries labels.
+func (d *Data) Labelled() bool { return d.Y != nil }
+
+// Slice returns the half-open sub-stream [lo, hi).
+func (d *Data) Slice(lo, hi int) *Data {
+	out := &Data{X: d.X[lo:hi], FeatureNames: d.FeatureNames}
+	if d.Y != nil {
+		out.Y = d.Y[lo:hi]
+	}
+	return out
+}
+
+// ReadCSV parses a sample stream. The first row must be a header; a
+// trailing "label" column (exact name) becomes Y.
+func ReadCSV(r io.Reader) (*Data, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("stream: read header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("stream: empty header")
+	}
+	hasLabel := header[len(header)-1] == "label"
+	dims := len(header)
+	if hasLabel {
+		dims--
+	}
+	if dims == 0 {
+		return nil, fmt.Errorf("stream: no feature columns")
+	}
+	d := &Data{FeatureNames: append([]string(nil), header[:dims]...)}
+	if hasLabel {
+		d.Y = []int{}
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("stream: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		x := make([]float64, dims)
+		for j := 0; j < dims; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d column %q: %w", line, header[j], err)
+			}
+			x[j] = v
+		}
+		d.X = append(d.X, x)
+		if hasLabel {
+			lab, err := strconv.Atoi(rec[dims])
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d label: %w", line, err)
+			}
+			d.Y = append(d.Y, lab)
+		}
+	}
+	return d, nil
+}
+
+// WriteCSV emits the stream in the layout ReadCSV parses. Feature names
+// default to f0..fN when the stream has none.
+func WriteCSV(w io.Writer, d *Data) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	dims := d.Dims()
+	names := d.FeatureNames
+	if len(names) != dims {
+		names = make([]string, dims)
+		for j := range names {
+			names[j] = fmt.Sprintf("f%d", j)
+		}
+	}
+	header := append([]string(nil), names...)
+	if d.Labelled() {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, dims+1)
+	for i, x := range d.X {
+		row = row[:0]
+		for _, v := range x {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if d.Labelled() {
+			row = append(row, strconv.Itoa(d.Y[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Standardizer rescales features to zero mean and unit variance using
+// statistics fitted on a reference (training) stream — the usual
+// preprocessing before OS-ELM training, since random-projection networks
+// are scale-sensitive.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-feature statistics over xs. Features with
+// zero variance get Std 1 so they pass through unchanged.
+func FitStandardizer(xs [][]float64) (*Standardizer, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stream: FitStandardizer on empty data")
+	}
+	dims := len(xs[0])
+	s := &Standardizer{Mean: make([]float64, dims), Std: make([]float64, dims)}
+	for _, x := range xs {
+		if len(x) != dims {
+			return nil, fmt.Errorf("stream: ragged data")
+		}
+		for j, v := range x {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(xs))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply standardises x in place and returns it.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	for j := range x {
+		x[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return x
+}
+
+// ApplyAll standardises every sample in place.
+func (s *Standardizer) ApplyAll(xs [][]float64) {
+	for _, x := range xs {
+		s.Apply(x)
+	}
+}

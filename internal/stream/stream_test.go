@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVLabelled(t *testing.T) {
+	in := "a,b,label\n1,2,0\n3.5,-4,1\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dims() != 2 || !d.Labelled() {
+		t.Fatalf("shape: %d×%d labelled=%v", d.Len(), d.Dims(), d.Labelled())
+	}
+	if d.X[1][0] != 3.5 || d.X[1][1] != -4 || d.Y[1] != 1 {
+		t.Fatalf("row 1 = %v label %d", d.X[1], d.Y[1])
+	}
+	if d.FeatureNames[0] != "a" || d.FeatureNames[1] != "b" {
+		t.Fatalf("names = %v", d.FeatureNames)
+	}
+}
+
+func TestReadCSVUnlabelled(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("x,y\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Labelled() {
+		t.Fatal("should be unlabelled")
+	}
+	if d.Dims() != 2 {
+		t.Fatalf("dims %d", d.Dims())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"label\n1\n",          // label only, no features
+		"a,b,label\n1,2\n",    // ragged row
+		"a,label\nnotnum,0\n", // bad float
+		"a,label\n1,notint\n", // bad label
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := &Data{
+		X:            [][]float64{{1.25, -3}, {0, 42}},
+		Y:            []int{1, 0},
+		FeatureNames: []string{"alpha", "beta"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Dims() != 2 {
+		t.Fatalf("shape %d×%d", got.Len(), got.Dims())
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Fatalf("X[%d][%d] = %v", i, j, got.X[i][j])
+			}
+		}
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("Y[%d] = %d", i, got.Y[i])
+		}
+	}
+	if got.FeatureNames[0] != "alpha" {
+		t.Fatalf("names %v", got.FeatureNames)
+	}
+}
+
+func TestWriteCSVDefaultNames(t *testing.T) {
+	d := &Data{X: [][]float64{{1, 2, 3}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "f0,f1,f2\n") {
+		t.Fatalf("header: %q", buf.String())
+	}
+}
+
+func TestSlice(t *testing.T) {
+	d := &Data{X: [][]float64{{0}, {1}, {2}, {3}}, Y: []int{0, 1, 0, 1}}
+	s := d.Slice(1, 3)
+	if s.Len() != 2 || s.X[0][0] != 1 || s.Y[1] != 0 {
+		t.Fatalf("slice = %+v", s)
+	}
+	u := (&Data{X: d.X}).Slice(0, 2)
+	if u.Labelled() {
+		t.Fatal("unlabelled slice grew labels")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	xs := [][]float64{{0, 10, 5}, {2, 10, 7}, {4, 10, 9}}
+	s, err := FitStandardizer(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean[0] != 2 || s.Mean[2] != 7 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	// Constant feature keeps Std 1.
+	if s.Std[1] != 1 {
+		t.Fatalf("constant-feature std %v", s.Std[1])
+	}
+	cp := make([][]float64, len(xs))
+	for i, x := range xs {
+		cp[i] = append([]float64(nil), x...)
+	}
+	s.ApplyAll(cp)
+	var mean0, var0 float64
+	for _, x := range cp {
+		mean0 += x[0]
+	}
+	mean0 /= 3
+	for _, x := range cp {
+		var0 += (x[0] - mean0) * (x[0] - mean0)
+	}
+	var0 /= 3
+	if math.Abs(mean0) > 1e-12 || math.Abs(var0-1) > 1e-12 {
+		t.Fatalf("standardised moments %v %v", mean0, var0)
+	}
+	// Constant feature passes through shifted by its mean.
+	if cp[0][1] != 0 {
+		t.Fatalf("constant feature became %v", cp[0][1])
+	}
+}
+
+func TestFitStandardizerErrors(t *testing.T) {
+	if _, err := FitStandardizer(nil); err == nil {
+		t.Fatal("expected empty-data error")
+	}
+	if _, err := FitStandardizer([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected ragged-data error")
+	}
+}

@@ -1,0 +1,67 @@
+package edgedrift
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/model"
+	"edgedrift/internal/oselm"
+	"edgedrift/internal/rng"
+)
+
+// Precision selects the float width of saved monitors; use Float32 for
+// microcontroller deployment artifacts.
+type Precision = oselm.Precision
+
+// Precision values.
+const (
+	Float64 = oselm.Float64
+	Float32 = oselm.Float32
+)
+
+// Save serialises the fitted monitor — discriminative model and detector
+// state — to w. This is the host-side half of the paper's workflow:
+// train and calibrate on a capable machine, ship the artifact to the
+// edge device, and continue purely sequential operation there.
+func (m *Monitor) Save(w io.Writer, prec Precision) error {
+	if !m.fit {
+		return errors.New("edgedrift: Save before Fit")
+	}
+	if _, err := m.model.Save(w, prec); err != nil {
+		return fmt.Errorf("edgedrift: save model: %w", err)
+	}
+	if err := m.det.SaveState(w); err != nil {
+		return fmt.Errorf("edgedrift: save detector: %w", err)
+	}
+	return nil
+}
+
+// LoadMonitor deserialises a monitor written by Save. It is immediately
+// ready to Process.
+func LoadMonitor(r io.Reader) (*Monitor, error) {
+	mm, err := model.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("edgedrift: load model: %w", err)
+	}
+	det, err := core.LoadState(r, mm)
+	if err != nil {
+		return nil, fmt.Errorf("edgedrift: load detector: %w", err)
+	}
+	cfg := mm.Config()
+	return &Monitor{
+		opts: Options{
+			Classes:    cfg.Classes,
+			Inputs:     cfg.Inputs,
+			Hidden:     cfg.Hidden,
+			Window:     det.Config().Window,
+			Forgetting: cfg.Forgetting,
+			Ridge:      cfg.Ridge,
+		},
+		model: mm,
+		det:   det,
+		rng:   rng.New(0),
+		fit:   true,
+	}, nil
+}

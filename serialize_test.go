@@ -1,0 +1,68 @@
+package edgedrift
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMonitorSaveLoadRoundTrip(t *testing.T) {
+	mon, stream := newFit(t, defaultOpts(), 20)
+	// Warm it up so detector state is non-trivial.
+	for i := 0; i < 200; i++ {
+		mon.Process(stream.X[i])
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf, Float64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMonitor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te1, td1 := mon.Thresholds()
+	te2, td2 := got.Thresholds()
+	if te1 != te2 || td1 != td2 {
+		t.Fatalf("thresholds (%v,%v) vs (%v,%v)", te1, td1, te2, td2)
+	}
+	// Both monitors behave identically from here on.
+	for i := 200; i < 2500; i++ {
+		a := mon.Process(stream.X[i])
+		b := got.Process(stream.X[i])
+		if a.Label != b.Label || a.DriftDetected != b.DriftDetected || a.Phase != b.Phase {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(got.DriftEvents()) == 0 {
+		t.Fatal("loaded monitor never detected the stream's drift")
+	}
+}
+
+func TestMonitorSaveFloat32Smaller(t *testing.T) {
+	mon, _ := newFit(t, defaultOpts(), 21)
+	var b64, b32 bytes.Buffer
+	if err := mon.Save(&b64, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Save(&b32, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if b32.Len() >= b64.Len() {
+		t.Fatalf("float32 artifact %d not smaller than %d", b32.Len(), b64.Len())
+	}
+}
+
+func TestMonitorSaveBeforeFitFails(t *testing.T) {
+	mon, err := New(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Save(&bytes.Buffer{}, Float64); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+}
+
+func TestLoadMonitorRejectsGarbage(t *testing.T) {
+	if _, err := LoadMonitor(bytes.NewReader([]byte("nope nope nope nope"))); err == nil {
+		t.Fatal("expected format error")
+	}
+}
