@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-kernels check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The packages with concurrency: parallel multi-instance scoring (model)
+# and the experiment worker pool (eval). core exercises both transitively.
+race:
+	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/...
+
+# Kernel and hot-path micro-benchmarks at the detector's real shapes.
+bench-kernels:
+	$(GO) test -bench=. -benchmem ./internal/mat/ ./internal/model/ ./internal/oselm/
+
+# Paper-table macro benchmarks (regenerates every artifact end to end).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The full pre-merge gate: tier-1 plus static analysis and the race
+# detector over the concurrent packages.
+check: build vet test race

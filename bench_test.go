@@ -18,16 +18,24 @@ import (
 	"edgedrift/internal/eval"
 )
 
-// reportCell parses a numeric table cell into a benchmark metric;
-// non-numeric cells ("-") are skipped.
+// reportCell parses a numeric table cell into a benchmark metric. The
+// single legitimate non-numeric cell is "-" — the tables' explicit
+// no-value marker (e.g. a drift that was never detected) — which is
+// skipped; any other unparsable content means the table generator
+// regressed and fails the benchmark instead of silently dropping the
+// metric.
 func reportCell(b *testing.B, t *eval.Table, row, col int, unit string) {
 	b.Helper()
 	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
 		b.Fatalf("table %q lacks cell (%d,%d)", t.Title, row, col)
 	}
-	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
-	if err != nil {
+	cell := t.Rows[row][col]
+	if cell == "-" {
 		return
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("table %q cell (%d,%d) = %q is neither numeric nor \"-\": %v", t.Title, row, col, cell, err)
 	}
 	b.ReportMetric(v, unit)
 }

@@ -4,7 +4,9 @@
 //
 //	driftbench -exp table2            # one experiment
 //	driftbench -exp all               # everything, paper order
+//	driftbench -exp all -parallel 4   # fan experiments out over 4 workers
 //	driftbench -exp fig4 -csv out/    # also dump CSV series/tables
+//	driftbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	driftbench -list                  # show the experiment registry
 package main
 
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"edgedrift/internal/eval"
@@ -23,6 +27,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for the whole experiment")
 	csvDir := flag.String("csv", "", "directory to write CSV tables/series into")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	parallel := flag.Int("parallel", 1, "experiments evaluated concurrently (1 keeps host wall-clock columns contention-free; 0 means GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Parse()
 
 	if *list {
@@ -55,20 +62,75 @@ func main() {
 		todo = []eval.Experiment{e}
 	}
 
-	for _, e := range todo {
-		start := time.Now()
-		out := e.Run(*seed)
-		fmt.Printf("== %s (%s, %.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
-		for _, t := range out.Tables {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := runAll(todo, *seed, *parallel, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runAll evaluates the experiments — concurrently when parallel != 1 —
+// and prints their tables in registry order regardless of completion
+// order. Each experiment's outcome lands in its pre-assigned slot; only
+// printing and CSV writing happen after the pool drains.
+func runAll(todo []eval.Experiment, seed uint64, parallel int, csvDir string) error {
+	type timed struct {
+		out     *eval.Outcome
+		elapsed time.Duration
+	}
+	results := make([]timed, len(todo))
+	pool := eval.NewPool(parallel)
+	for i, e := range todo {
+		i, e := i, e
+		pool.Go(func() error {
+			start := time.Now()
+			out := e.Run(seed)
+			results[i] = timed{out: out, elapsed: time.Since(start)}
+			return nil
+		})
+	}
+	if err := pool.Wait(); err != nil {
+		return err
+	}
+	for i, e := range todo {
+		fmt.Printf("== %s (%s, %.1fs)\n\n", e.ID, e.Title, results[i].elapsed.Seconds())
+		for _, t := range results[i].out.Tables {
 			fmt.Println(t.String())
 		}
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, e.ID, out); err != nil {
-				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-				os.Exit(1)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, e.ID, results[i].out); err != nil {
+				return fmt.Errorf("csv: %w", err)
 			}
 		}
 	}
+	return nil
 }
 
 func writeCSV(dir, id string, out *eval.Outcome) error {

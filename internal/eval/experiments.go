@@ -210,66 +210,51 @@ func proposedFan(trainX [][]float64, trainY []int, window int, seed uint64) (*co
 func runAllNSL(seed uint64, window int) ([]*RunResult, error) {
 	ds := nslkdd.Generate(nslkdd.DefaultParams())
 	cfg := RunConfig{DriftAt: ds.DriftAt}
-	out := make([]*RunResult, 5)
-	errs := make([]error, 5)
-	Parallel(
-		func() { // Quant Tree + OS-ELM
+	return RunSet(
+		MethodRun{Name: "Quant Tree", Run: func() (*RunResult, error) {
 			m, err := nslModel(ds, 1, seed)
 			if err != nil {
-				errs[0] = err
-				return
+				return nil, err
 			}
 			qt, err := quanttree.New(ds.TrainX, quanttree.Config{Bins: nslQTBins, BatchSize: nslQTBatch, CalibrationTrials: 800}, rng.New(seed+10))
 			if err != nil {
-				errs[0] = err
-				return
+				return nil, err
 			}
-			out[0] = RunBatch("Quant Tree", m, qt, ds.TestX, ds.TestY, cfg, rng.New(seed+11))
-		},
-		func() { // SPLL + OS-ELM
+			return RunBatch("Quant Tree", m, qt, ds.TestX, ds.TestY, cfg, rng.New(seed+11)), nil
+		}},
+		MethodRun{Name: "SPLL", Run: func() (*RunResult, error) {
 			m, err := nslModel(ds, 1, seed)
 			if err != nil {
-				errs[1] = err
-				return
+				return nil, err
 			}
 			sp, err := spll.New(ds.TrainX, spll.Config{Clusters: 3, BatchSize: nslSPLLBatch, CalibrationTrials: 120}, rng.New(seed+12))
 			if err != nil {
-				errs[1] = err
-				return
+				return nil, err
 			}
-			out[1] = RunBatch("SPLL", m, sp, ds.TestX, ds.TestY, cfg, rng.New(seed+13))
-		},
-		func() { // Baseline: no detection
+			return RunBatch("SPLL", m, sp, ds.TestX, ds.TestY, cfg, rng.New(seed+13)), nil
+		}},
+		MethodRun{Name: "Baseline", Run: func() (*RunResult, error) {
 			m, err := nslModel(ds, 1, seed)
 			if err != nil {
-				errs[2] = err
-				return
+				return nil, err
 			}
-			out[2] = RunStatic(m, ds.TestX, ds.TestY, cfg)
-		},
-		func() { // ONLAD: passive forgetting
+			return RunStatic(m, ds.TestX, ds.TestY, cfg), nil
+		}},
+		MethodRun{Name: "ONLAD", Run: func() (*RunResult, error) {
 			m, err := nslModel(ds, nslONLADForget, seed)
 			if err != nil {
-				errs[3] = err
-				return
+				return nil, err
 			}
-			out[3] = RunONLAD(m, ds.TestX, ds.TestY, cfg)
-		},
-		func() { // Proposed
+			return RunONLAD(m, ds.TestX, ds.TestY, cfg), nil
+		}},
+		MethodRun{Name: "Proposed", Run: func() (*RunResult, error) {
 			det, err := proposedNSL(ds, window, seed)
 			if err != nil {
-				errs[4] = err
-				return
+				return nil, err
 			}
-			out[4] = RunProposed(det, ds.TestX, ds.TestY, cfg)
-		},
+			return RunProposed(det, ds.TestX, ds.TestY, cfg), nil
+		}},
 	)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -369,19 +354,21 @@ func Table2(seed uint64) *Outcome {
 	t.AddRow(results[4].Name, pct(results[4].Accuracy), delayCell(results[4].Delay))
 	ds := nslkdd.Generate(nslkdd.DefaultParams())
 	windows := []int{250, 1000}
-	extra := make([]*RunResult, len(windows))
-	var fns []func()
+	runs := make([]MethodRun, len(windows))
 	for i, w := range windows {
-		i, w := i, w
-		fns = append(fns, func() {
+		w := w
+		runs[i] = MethodRun{Name: fmt.Sprintf("proposed W=%d", w), Run: func() (*RunResult, error) {
 			det, err := proposedNSL(ds, w, seed)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			extra[i] = RunProposed(det, ds.TestX, ds.TestY, RunConfig{DriftAt: ds.DriftAt})
-		})
+			return RunProposed(det, ds.TestX, ds.TestY, RunConfig{DriftAt: ds.DriftAt}), nil
+		}}
 	}
-	Parallel(fns...)
+	extra, err2 := RunSet(runs...)
+	if err2 != nil {
+		panic(err2)
+	}
 	for _, res := range extra {
 		t.AddRow(res.Name, pct(res.Accuracy), delayCell(res.Delay))
 	}
@@ -413,22 +400,25 @@ func Table3(seed uint64) *Outcome {
 	streams := []*coolingfan.Stream{gen.TestSudden(), gen.TestGradual(), gen.TestReoccurring()}
 	windows := []int{10, 50, 150}
 	cells := make([][]string, len(windows))
-	var fns []func()
+	pool := NewPool(0)
 	for wi, w := range windows {
 		cells[wi] = make([]string, len(streams))
 		for si, st := range streams {
 			wi, si, w, st := wi, si, w, st
-			fns = append(fns, func() {
+			pool.Go(func() error {
 				det, err := proposedFan(trainX, trainY, w, seed)
 				if err != nil {
-					panic(err)
+					return fmt.Errorf("W=%d stream %d: %w", w, si, err)
 				}
 				res := RunProposed(det, st.X, nil, RunConfig{DriftAt: st.DriftAt})
 				cells[wi][si] = delayCell(res.Delay)
+				return nil
 			})
 		}
 	}
-	Parallel(fns...)
+	if err := pool.Wait(); err != nil {
+		panic(err)
+	}
 	for wi, w := range windows {
 		row := []interface{}{fmt.Sprintf("W=%d", w)}
 		for _, c := range cells[wi] {

@@ -12,6 +12,37 @@ import (
 	"edgedrift/internal/stats"
 )
 
+// MethodRun is one deferred, independent method evaluation: a named
+// closure that builds its own model/detector and replays a stream.
+type MethodRun struct {
+	Name string
+	Run  func() (*RunResult, error)
+}
+
+// RunSet evaluates independent method runs concurrently on the shared
+// pool and returns the results in input order (pre-assigned slots, so
+// concurrency never reorders a table). The first failing run aborts the
+// set with its error, wrapped with the run's name.
+func RunSet(runs ...MethodRun) ([]*RunResult, error) {
+	out := make([]*RunResult, len(runs))
+	p := NewPool(0)
+	for i, mr := range runs {
+		i, mr := i, mr
+		p.Go(func() error {
+			res, err := mr.Run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", mr.Name, err)
+			}
+			out[i] = res
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RunConfig controls stream evaluation.
 type RunConfig struct {
 	// DriftAt is the ground-truth drift index (-1 when the stream has no

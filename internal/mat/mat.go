@@ -131,18 +131,38 @@ func (m *Matrix) Transpose() *Matrix {
 
 // Mul computes dst = a·b. dst must not alias a or b; it is resized storage
 // allocated by the caller with shape a.Rows×b.Cols.
+//
+// The inner loop is unrolled 4-way over k so each pass touches four rows
+// of b while streaming the destination row once, quartering the number of
+// times drow is re-read from memory compared to the naive axpy loop.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(ErrShape)
 	}
 	n := a.Cols
+	bc := b.Cols
+	n4 := n &^ 3
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := range drow {
 			drow[j] = 0
 		}
-		for k := 0; k < n; k++ {
+		var k int
+		for ; k < n4; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := b.Data[k*bc : k*bc+bc]
+			b1 := b.Data[(k+1)*bc : (k+1)*bc+bc]
+			b2 := b.Data[(k+2)*bc : (k+2)*bc+bc]
+			b3 := b.Data[(k+3)*bc : (k+3)*bc+bc]
+			if len(b0) < len(drow) || len(b1) < len(drow) || len(b2) < len(drow) || len(b3) < len(drow) {
+				panic(ErrShape) // unreachable; hoists the bounds checks
+			}
+			for j := range drow {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < n; k++ {
 			av := arow[k]
 			if av == 0 {
 				continue
@@ -162,7 +182,10 @@ func MulNew(a, b *Matrix) *Matrix {
 	return dst
 }
 
-// MulTransA computes dst = aᵀ·b without materialising aᵀ.
+// MulTransA computes dst = aᵀ·b without materialising aᵀ. Four rows of a
+// and b are consumed per pass so each destination row is updated with a
+// 4-term fused accumulation instead of four separate read-modify-write
+// sweeps.
 func MulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(ErrShape)
@@ -170,7 +193,24 @@ func MulTransA(dst, a, b *Matrix) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	for k := 0; k < a.Rows; k++ {
+	n := a.Rows
+	n4 := n &^ 3
+	var k int
+	for ; k < n4; k += 4 {
+		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		for i := range a0 {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			drow := dst.Row(i)
+			if len(b0) < len(drow) || len(b1) < len(drow) || len(b2) < len(drow) || len(b3) < len(drow) {
+				panic(ErrShape) // unreachable; hoists the bounds checks
+			}
+			for j := range drow {
+				drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; k < n; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i, av := range arow {
@@ -186,23 +226,21 @@ func MulTransA(dst, a, b *Matrix) {
 }
 
 // MulVec computes dst = m·x for a vector x (len m.Cols) into dst
-// (len m.Rows). dst must not alias x.
+// (len m.Rows). dst must not alias x. Each row product runs through the
+// 4-accumulator dot kernel.
 func MulVec(dst []float64, m *Matrix, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(ErrShape)
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		dst[i] = s
+	cols := m.Cols
+	for i := range dst {
+		dst[i] = dotKernel(m.Data[i*cols:i*cols+cols], x)
 	}
 }
 
 // MulVecTrans computes dst = mᵀ·x for x of length m.Rows into dst of
-// length m.Cols, without materialising mᵀ.
+// length m.Cols, without materialising mᵀ. Four matrix rows are folded
+// into dst per pass.
 func MulVecTrans(dst []float64, m *Matrix, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic(ErrShape)
@@ -210,7 +248,24 @@ func MulVecTrans(dst []float64, m *Matrix, x []float64) {
 	for j := range dst {
 		dst[j] = 0
 	}
-	for i := 0; i < m.Rows; i++ {
+	cols := m.Cols
+	n := m.Rows
+	n4 := n &^ 3
+	var i int
+	for ; i < n4; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		r0 := m.Data[i*cols : i*cols+cols]
+		r1 := m.Data[(i+1)*cols : (i+1)*cols+cols]
+		r2 := m.Data[(i+2)*cols : (i+2)*cols+cols]
+		r3 := m.Data[(i+3)*cols : (i+3)*cols+cols]
+		if len(r0) < len(dst) || len(r1) < len(dst) || len(r2) < len(dst) || len(r3) < len(dst) {
+			panic(ErrShape) // unreachable; hoists the bounds checks
+		}
+		for j := range dst {
+			dst[j] += x0*r0[j] + x1*r1[j] + x2*r2[j] + x3*r3[j]
+		}
+	}
+	for ; i < n; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
@@ -224,11 +279,37 @@ func MulVecTrans(dst []float64, m *Matrix, x []float64) {
 
 // AddScaledOuter performs the rank-1 update m ← m + s·u·vᵀ in place.
 // u has length m.Rows and v length m.Cols.
+//
+// Rows are processed in blocks of four per sweep of v, so v is read from
+// cache once per block instead of once per row — the layout that makes
+// Train's H×H Sherman-Morrison update and H×D β update stream at memory
+// speed.
 func (m *Matrix) AddScaledOuter(s float64, u, v []float64) {
 	if len(u) != m.Rows || len(v) != m.Cols {
 		panic(ErrShape)
 	}
-	for i := 0; i < m.Rows; i++ {
+	cols := m.Cols
+	n := len(u)
+	n4 := n &^ 3
+	var i int
+	for ; i < n4; i += 4 {
+		s0, s1, s2, s3 := s*u[i], s*u[i+1], s*u[i+2], s*u[i+3]
+		r0 := m.Data[i*cols : i*cols+cols]
+		r1 := m.Data[(i+1)*cols : (i+1)*cols+cols]
+		r2 := m.Data[(i+2)*cols : (i+2)*cols+cols]
+		r3 := m.Data[(i+3)*cols : (i+3)*cols+cols]
+		if len(v) < len(r0) || len(r1) < len(r0) || len(r2) < len(r0) || len(r3) < len(r0) {
+			panic(ErrShape) // unreachable; hoists the bounds checks
+		}
+		for j := range r0 {
+			vv := v[j]
+			r0[j] += s0 * vv
+			r1[j] += s1 * vv
+			r2[j] += s2 * vv
+			r3[j] += s3 * vv
+		}
+	}
+	for ; i < n; i++ {
 		su := s * u[i]
 		if su == 0 {
 			continue
@@ -247,12 +328,7 @@ func (m *Matrix) QuadForm(x []float64) float64 {
 	}
 	var total float64
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		total += x[i] * s
+		total += x[i] * dotKernel(m.Row(i), x)
 	}
 	return total
 }

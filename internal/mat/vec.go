@@ -7,11 +7,28 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	return dotKernel(a, b)
+}
+
+// dotKernel is the shared 4-accumulator inner-product core. Callers
+// guarantee len(b) >= len(a). Independent accumulators break the
+// loop-carried dependency of the naive sum, letting the FPU pipeline
+// overlap four multiply-adds in flight.
+func dotKernel(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	n4 := n &^ 3
+	var i int
+	for ; i < n4; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // AxpyVec performs y ← y + s·x element-wise.

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"testing"
+
+	"edgedrift/internal/rng"
+)
+
+// Steady-state prediction and sequential training across the C-instance
+// model must stay allocation-free: Predict fans out to every instance's
+// Score and Train touches exactly one instance, all through pre-sized
+// scratch buffers.
+
+func TestPredictZeroAllocs(t *testing.T) {
+	m, err := New(Config{Classes: 3, Inputs: 64, Hidden: 22}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	if n := testing.AllocsPerRun(200, func() { m.Predict(x) }); n != 0 {
+		t.Fatalf("Predict allocates %v objects per call, want 0", n)
+	}
+}
+
+func TestTrainClosestZeroAllocs(t *testing.T) {
+	m, err := New(Config{Classes: 3, Inputs: 64, Hidden: 22}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	if n := testing.AllocsPerRun(200, func() { m.TrainClosest(x) }); n != 0 {
+		t.Fatalf("TrainClosest allocates %v objects per call, want 0", n)
+	}
+}
+
+// The parallel scoring path hands work to persistent goroutines over
+// pre-allocated channels; once the pool is warm, Predict must stay
+// allocation-free there too.
+func TestParallelPredictZeroAllocs(t *testing.T) {
+	m, err := New(Config{Classes: 4, Inputs: 64, Hidden: 22}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetParallelism(2)
+	m.SetParallelThreshold(1) // force the concurrent path at this size
+	x := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	m.Predict(x) // warm the pool
+	if n := testing.AllocsPerRun(200, func() { m.Predict(x) }); n != 0 {
+		t.Fatalf("parallel Predict allocates %v objects per call, want 0", n)
+	}
+}

@@ -46,11 +46,21 @@ type Config struct {
 }
 
 // Multi is the concrete multi-instance autoencoder model.
+//
+// Multi is not safe for concurrent use by multiple goroutines; the
+// parallelism knobs (SetParallelism) only parallelise the internals of a
+// single Predict call.
 type Multi struct {
 	cfg       Config
 	instances []*oselm.Autoencoder
 	scores    []float64
 	ops       *opcount.Counter
+
+	// Parallel-scoring state; see parallel.go.
+	parWorkers   int // 1 = sequential (default)
+	parThreshold int // min modelled MACs per Predict before fanning out
+	predictMACs  int // ≈ C·2·D·H, fixed at construction
+	pool         *scorePool
 }
 
 var _ Discriminator = (*Multi)(nil)
@@ -63,9 +73,12 @@ func New(cfg Config, r *rng.Rand) (*Multi, error) {
 		return nil, fmt.Errorf("model: need at least one class, got %d", cfg.Classes)
 	}
 	m := &Multi{
-		cfg:       cfg,
-		instances: make([]*oselm.Autoencoder, cfg.Classes),
-		scores:    make([]float64, cfg.Classes),
+		cfg:          cfg,
+		instances:    make([]*oselm.Autoencoder, cfg.Classes),
+		scores:       make([]float64, cfg.Classes),
+		parWorkers:   1,
+		parThreshold: defaultParallelThreshold,
+		predictMACs:  cfg.Classes * 2 * cfg.Inputs * cfg.Hidden,
 	}
 	for i := range m.instances {
 		ae, err := oselm.NewAutoencoder(oselm.Config{
@@ -90,13 +103,22 @@ func (m *Multi) Classes() int { return m.cfg.Classes }
 func (m *Multi) Config() Config { return m.cfg }
 
 // Predict scores x under every instance and returns the argmin label with
-// its score (Algorithm 1 lines 6–7).
+// its score (Algorithm 1 lines 6–7). When parallel scoring is enabled
+// and the model is large enough (see SetParallelism), the C scorings run
+// concurrently; the result is identical to the sequential path because
+// every instance writes its pre-assigned slot of the score buffer and
+// the argmin scan below is always sequential.
 func (m *Multi) Predict(x []float64) (int, float64) {
-	best, bestScore := 0, 0.0
-	for i, ae := range m.instances {
-		s := ae.Score(x)
-		m.scores[i] = s
-		if i == 0 || s < bestScore {
+	if m.parallelOK() {
+		m.pool.score(x)
+	} else {
+		for i, ae := range m.instances {
+			m.scores[i] = ae.Score(x)
+		}
+	}
+	best, bestScore := 0, m.scores[0]
+	for i, s := range m.scores {
+		if s < bestScore {
 			best, bestScore = i, s
 		}
 	}

@@ -1,0 +1,160 @@
+package model
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel multi-instance scoring.
+//
+// Predict's dominant cost is C independent autoencoder scorings — each
+// instance owns its weights and scratch buffers and is strictly read-only
+// with respect to the others, so the fan-out is embarrassingly parallel.
+// A persistent pool of worker goroutines scores disjoint slices of the
+// instance range into pre-assigned slots of the shared scores buffer;
+// the argmin scan afterwards is sequential, so the predicted label is
+// bit-identical to the sequential path regardless of scheduling.
+//
+// The pool engages only when all of the following hold:
+//
+//   - parallelism was requested (SetParallelism > 1, or automatic via
+//     GOMAXPROCS when SetParallelism(0) is called);
+//   - no operation counter is attached (instances share one *opcount.Counter;
+//     concurrent scoring would race on it, and instrumented paper runs
+//     must stay exactly sequential anyway);
+//   - the per-sample work C·(2·D·H) clears ParallelThreshold, below which
+//     handoff latency exceeds the scoring work itself.
+//
+// Otherwise Predict falls back to the sequential loop. Goroutine safety:
+// during a parallel Predict the instances are only read (Score writes
+// exclusively to the instance's own scratch buffers), and each worker
+// writes a disjoint range of m.scores, so no synchronisation beyond the
+// start/finish handshake is needed.
+
+// defaultParallelThreshold is the minimum multiply-accumulate count per
+// Predict (≈ C·2·D·H) before the pool engages. Channel handoff plus
+// wakeup costs a few microseconds per worker; at ~50k MACs the
+// sequential loop is comfortably cheaper.
+const defaultParallelThreshold = 200_000
+
+// scorePool is the persistent worker pool backing parallel Predict.
+type scorePool struct {
+	workers int
+	jobs    chan scoreSpan
+	wg      sync.WaitGroup // in-flight spans of the current Predict
+	x       []float64      // input of the current Predict (set before dispatch)
+	m       *Multi
+	stop    chan struct{}
+}
+
+// scoreSpan is a half-open instance range [lo, hi) one worker scores.
+type scoreSpan struct{ lo, hi int }
+
+func newScorePool(m *Multi, workers int) *scorePool {
+	p := &scorePool{
+		workers: workers,
+		jobs:    make(chan scoreSpan, workers),
+		m:       m,
+		stop:    make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *scorePool) run() {
+	for {
+		select {
+		case span := <-p.jobs:
+			for i := span.lo; i < span.hi; i++ {
+				p.m.scores[i] = p.m.instances[i].Score(p.x)
+			}
+			p.wg.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// score fans the C instances out over the workers and blocks until every
+// slot of m.scores is filled.
+func (p *scorePool) score(x []float64) {
+	p.x = x
+	c := len(p.m.instances)
+	span := (c + p.workers - 1) / p.workers
+	for lo := 0; lo < c; lo += span {
+		hi := lo + span
+		if hi > c {
+			hi = c
+		}
+		p.wg.Add(1)
+		p.jobs <- scoreSpan{lo, hi}
+	}
+	p.wg.Wait()
+	p.x = nil
+}
+
+func (p *scorePool) close() {
+	close(p.stop)
+}
+
+// SetParallelism configures concurrent scoring: n > 1 uses n workers,
+// n == 0 uses GOMAXPROCS, and n == 1 (the construction default) keeps
+// scoring strictly sequential. The pool is created lazily on the first
+// Predict that qualifies (see SetParallelThreshold); callers that enable
+// parallelism should Close the model when done with it.
+func (m *Multi) SetParallelism(n int) {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == m.parWorkers {
+		return
+	}
+	if m.pool != nil {
+		m.pool.close()
+		m.pool = nil
+	}
+	m.parWorkers = n
+}
+
+// SetParallelThreshold overrides the minimum modelled multiply-accumulate
+// count per Predict (≈ C·2·D·H) before parallel scoring engages; 0
+// restores the default. Tests use 1 to force the concurrent path on
+// small models.
+func (m *Multi) SetParallelThreshold(ops int) {
+	if ops <= 0 {
+		ops = defaultParallelThreshold
+	}
+	m.parThreshold = ops
+}
+
+// Close releases the scoring pool's goroutines, if any. The model
+// remains usable afterwards on the sequential path. Close is a no-op on
+// a model that never engaged parallel scoring.
+func (m *Multi) Close() {
+	if m.pool != nil {
+		m.pool.close()
+		m.pool = nil
+	}
+	m.parWorkers = 1
+}
+
+// parallelOK reports whether the next Predict should take the concurrent
+// path, creating the pool on first use.
+func (m *Multi) parallelOK() bool {
+	if m.parWorkers <= 1 || m.ops != nil || len(m.instances) < 2 {
+		return false
+	}
+	if m.predictMACs < m.parThreshold {
+		return false
+	}
+	if m.pool == nil {
+		w := m.parWorkers
+		if w > len(m.instances) {
+			w = len(m.instances)
+		}
+		m.pool = newScorePool(m, w)
+	}
+	return true
+}

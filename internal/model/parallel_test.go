@@ -1,0 +1,138 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/rng"
+)
+
+func testInputs(n, d int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, d)
+		r.FillUniform(xs[i], -1, 1)
+	}
+	return xs
+}
+
+// Parallel Predict must be bit-identical to sequential Predict: same
+// label, same winning score, same per-instance score vector.
+func TestParallelPredictMatchesSequential(t *testing.T) {
+	const d = 32
+	seq, err := New(Config{Classes: 5, Inputs: d, Hidden: 16}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Config{Classes: 5, Inputs: d, Hidden: 16}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	par.SetParallelism(3)
+	par.SetParallelThreshold(1)
+
+	for i, x := range testInputs(200, d, 42) {
+		// Interleave training so the instances diverge from each other.
+		sl, ss := seq.TrainClosest(x)
+		pl, ps := par.TrainClosest(x)
+		if sl != pl || ss != ps {
+			t.Fatalf("sample %d: parallel (label=%d score=%v) != sequential (label=%d score=%v)", i, pl, ps, sl, ss)
+		}
+		for c := range seq.Scores() {
+			if seq.Scores()[c] != par.Scores()[c] {
+				t.Fatalf("sample %d: score[%d] %v != %v", i, c, par.Scores()[c], seq.Scores()[c])
+			}
+		}
+	}
+}
+
+// An attached op counter forces the sequential path — the shared counter
+// is not goroutine-safe and instrumented runs must count deterministically.
+func TestParallelDisabledWithOpsCounter(t *testing.T) {
+	m, err := New(Config{Classes: 4, Inputs: 32, Hidden: 16}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetParallelism(4)
+	m.SetParallelThreshold(1)
+	var ops opcount.Counter
+	m.SetOps(&ops)
+	if m.parallelOK() {
+		t.Fatal("parallel path engaged with an op counter attached")
+	}
+	x := make([]float64, 32)
+	m.Predict(x)
+	if ops.Total() == 0 {
+		t.Fatal("op counter not incremented on the sequential fallback")
+	}
+	m.SetOps(nil)
+	if !m.parallelOK() {
+		t.Fatal("parallel path should engage once the counter is detached")
+	}
+}
+
+// Below the work threshold the pool must not engage (nor be created).
+func TestParallelThresholdFallback(t *testing.T) {
+	m, err := New(Config{Classes: 2, Inputs: 8, Hidden: 4}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetParallelism(4)
+	x := make([]float64, 8)
+	m.Predict(x)
+	if m.pool != nil {
+		t.Fatalf("pool created for a %d-MAC Predict under the %d threshold", m.predictMACs, m.parThreshold)
+	}
+}
+
+func TestCloseThenSequentialPredict(t *testing.T) {
+	m, err := New(Config{Classes: 4, Inputs: 32, Hidden: 16}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetParallelism(2)
+	m.SetParallelThreshold(1)
+	x := make([]float64, 32)
+	wantL, wantS := m.Predict(x)
+	m.Close()
+	gotL, gotS := m.Predict(x)
+	if gotL != wantL || gotS != wantS {
+		t.Fatalf("after Close: (%d, %v) != (%d, %v)", gotL, gotS, wantL, wantS)
+	}
+}
+
+// BenchmarkPredict compares sequential and parallel scoring at a
+// production-ish shape (C=8 instances, D=511, H=64).
+func BenchmarkPredict(b *testing.B) {
+	const (
+		classes = 8
+		d       = 511
+		h       = 64
+	)
+	x := make([]float64, d)
+	rng.New(3).FillUniform(x, -1, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("C%d_D%d_H%d_workers%d", classes, d, h, workers), func(b *testing.B) {
+			m, err := New(Config{Classes: classes, Inputs: d, Hidden: h}, rng.New(11))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			if workers > 1 {
+				m.SetParallelism(workers)
+				m.SetParallelThreshold(1)
+			}
+			m.Predict(x) // warm the pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Predict(x)
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package oselm
+
+import (
+	"testing"
+
+	"edgedrift/internal/opcount"
+	"edgedrift/internal/rng"
+)
+
+// The per-sample path — Score, Predict, Train — must not allocate in
+// steady state: on a 264 kB microcontroller every heap allocation is a
+// latency spike and a fragmentation risk, and the paper's per-sample
+// latency claims assume none happen. These tests lock that in; a
+// regression here means a scratch buffer was dropped or a closure
+// started escaping.
+
+func allocModel(t testing.TB, d, h int) *Model {
+	t.Helper()
+	m, err := New(Config{Inputs: d, Hidden: h, Outputs: d}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredictZeroAllocs(t *testing.T) {
+	m := allocModel(t, 64, 22)
+	x := make([]float64, 64)
+	out := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	m.Train(x, x)
+	if n := testing.AllocsPerRun(200, func() { m.Predict(out, x) }); n != 0 {
+		t.Fatalf("Predict allocates %v objects per call, want 0", n)
+	}
+}
+
+func TestTrainZeroAllocs(t *testing.T) {
+	m := allocModel(t, 64, 22)
+	x := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	if n := testing.AllocsPerRun(200, func() { m.Train(x, x) }); n != 0 {
+		t.Fatalf("Train allocates %v objects per call, want 0", n)
+	}
+}
+
+func TestScoreZeroAllocs(t *testing.T) {
+	for _, metric := range []ScoreMetric{MSE, L1Mean, L2Norm} {
+		ae, err := NewAutoencoder(Config{Inputs: 64, Hidden: 22}, metric, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 64)
+		rng.New(3).FillUniform(x, -1, 1)
+		ae.Train(x)
+		if n := testing.AllocsPerRun(200, func() { ae.Score(x) }); n != 0 {
+			t.Fatalf("Score(%v) allocates %v objects per call, want 0", metric, n)
+		}
+	}
+}
+
+// Attaching an op counter must not change the allocation profile — the
+// instrumented paper runs share the same hot path.
+func TestTrainWithOpsZeroAllocs(t *testing.T) {
+	m := allocModel(t, 64, 22)
+	var ops opcount.Counter
+	m.SetOps(&ops)
+	x := make([]float64, 64)
+	rng.New(3).FillUniform(x, -1, 1)
+	if n := testing.AllocsPerRun(200, func() { m.Train(x, x) }); n != 0 {
+		t.Fatalf("Train with ops counter allocates %v objects per call, want 0", n)
+	}
+}
