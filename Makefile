@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels check
+.PHONY: build test vet race bench bench-kernels fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,15 @@ bench-kernels:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# The full pre-merge gate: tier-1 plus static analysis and the race
-# detector over the concurrent packages.
-check: build vet test race
+# Short fuzz passes over every deserialiser: corrupt or truncated
+# artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`
+# takes one target per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=10s ./internal/oselm/
+	$(GO) test -fuzz=FuzzLoadState -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzLoadMonitor -fuzztime=10s .
+
+# The full pre-merge gate: tier-1 plus static analysis, the race
+# detector over the concurrent packages, and a fuzz smoke over the
+# artifact loaders.
+check: build vet test race fuzz-smoke

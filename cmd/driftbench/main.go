@@ -22,8 +22,17 @@ import (
 	"edgedrift/internal/eval"
 )
 
+// main delegates to run so that deferred cleanup — stopping the CPU
+// profiler and closing profile files — executes on every exit path.
+// Calling os.Exit directly from the work path would skip the defers and
+// silently truncate the profiles exactly when an experiment fails, the
+// case most worth profiling.
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1, fig4, table2..table6, ablation-*), 'all', or 'ablations'")
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment id (fig1, fig4, table2..table6, ablation-*, ext-*), 'all', 'ablations', or 'extensions'")
 	seed := flag.Uint64("seed", 1, "random seed for the whole experiment")
 	csvDir := flag.String("csv", "", "directory to write CSV tables/series into")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -42,7 +51,7 @@ func main() {
 		for _, e := range eval.RegistryExtensions() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var todo []eval.Experiment
@@ -57,7 +66,7 @@ func main() {
 		e, ok := eval.LookupAny(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		todo = []eval.Experiment{e}
 	}
@@ -66,34 +75,43 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	if err := runAll(todo, *seed, *parallel, *csvDir); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
+		if err := writeMemProfile(*memProfile); err != nil {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		runtime.GC() // settle the heap so the profile shows retained state
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// writeMemProfile snapshots the heap to path, reporting close errors so
+// a full disk does not pass silently.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile shows retained state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAll evaluates the experiments — concurrently when parallel != 1 —

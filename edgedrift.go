@@ -35,6 +35,8 @@ import (
 	"fmt"
 
 	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+	"edgedrift/internal/mat"
 	"edgedrift/internal/model"
 	"edgedrift/internal/opcount"
 	"edgedrift/internal/oselm"
@@ -59,6 +61,24 @@ const (
 // Monitor.SetOps and convert it to device time with the device profiles
 // in internal/device (or your own cycle model).
 type OpCounter = opcount.Counter
+
+// GuardPolicy selects what Process does with a sample carrying a
+// non-finite (NaN/±Inf) feature. The default, GuardReject, refuses the
+// sample before it can poison model or centroid state; see the core
+// package for the full semantics of each policy.
+type GuardPolicy = core.GuardPolicy
+
+// Guard policies, re-exported for Options.Guard.
+const (
+	GuardReject = core.GuardReject
+	GuardClamp  = core.GuardClamp
+	GuardPanic  = core.GuardPanic
+)
+
+// HealthSnapshot is the monitor's structured health view: ingestion-guard
+// counters, RLS watchdog state across all model instances, and the
+// monitoring-score distribution summary.
+type HealthSnapshot = health.Snapshot
 
 // Options configures a Monitor.
 type Options struct {
@@ -91,7 +111,15 @@ type Options struct {
 	NRecon, NSearch, NUpdate int
 	// TrainDuringMonitor keeps sequentially training the closest
 	// instance on every monitored sample (the passive ONLAD behaviour).
+	// Samples rejected by the ingestion guard are never trained on.
 	TrainDuringMonitor bool
+
+	// Guard is the non-finite-input policy; the zero value is
+	// GuardReject, the production default.
+	Guard GuardPolicy
+	// ClampLimit is the magnitude ±Inf features are clamped to under
+	// GuardClamp (0 → 1e12).
+	ClampLimit float64
 }
 
 // Monitor is the user-facing bundle of discriminative model + drift
@@ -131,6 +159,8 @@ func New(opts Options) (*Monitor, error) {
 		NSearch:           opts.NSearch,
 		NUpdate:           opts.NUpdate,
 		ResetModelOnDrift: true,
+		Guard:             opts.Guard,
+		ClampLimit:        opts.ClampLimit,
 	}
 	det, err := core.New(m, cfg)
 	if err != nil {
@@ -150,6 +180,13 @@ func New(opts Options) (*Monitor, error) {
 func (m *Monitor) Fit(xs [][]float64, labels []int) error {
 	if len(xs) == 0 || len(xs) != len(labels) {
 		return fmt.Errorf("edgedrift: Fit needs matched non-empty samples, got %d/%d", len(xs), len(labels))
+	}
+	// Validate before any training: by the time Calibrate would notice a
+	// non-finite feature, the model would already be poisoned.
+	for i, x := range xs {
+		if !mat.AllFinite(x) {
+			return fmt.Errorf("edgedrift: training sample %d has a non-finite feature", i)
+		}
 	}
 	var tail stats.Running
 	for i, x := range xs {
@@ -201,16 +238,29 @@ func (m *Monitor) FitUnsupervised(xs [][]float64) ([]int, error) {
 // Process consumes one sample: it predicts a label, advances the drift
 // state machine, and (after a detection) drives the sequential model
 // reconstruction. It panics if Fit has not run.
+//
+// Samples with a non-finite feature are handled by the configured
+// GuardPolicy (Options.Guard) before they can touch model or centroid
+// state; under the default GuardReject they return the last accepted
+// Result with Rejected set and are never trained on.
 func (m *Monitor) Process(x []float64) Result {
 	if !m.fit {
 		panic("edgedrift: Process before Fit")
 	}
 	res := m.det.Process(x)
-	if m.opts.TrainDuringMonitor && res.Phase == Monitoring {
+	// The finiteness re-check covers GuardClamp, where the detector
+	// processed a repaired copy but x itself still carries the bad values.
+	if m.opts.TrainDuringMonitor && !res.Rejected && res.Phase == Monitoring && mat.AllFinite(x) {
 		m.model.Train(x, res.Label)
 	}
 	return res
 }
+
+// Health assembles a structured health snapshot of the monitor: guard
+// counters, RLS watchdog state, and score-distribution summary. Cheap
+// enough to call every sample; intended for operational dashboards and
+// periodic logging.
+func (m *Monitor) Health() HealthSnapshot { return m.det.Health() }
 
 // Predict scores x without advancing the detector: it returns the
 // predicted class and the anomaly (reconstruction) score.

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"edgedrift/internal/health"
 	"edgedrift/internal/mat"
 	"edgedrift/internal/model"
 	"edgedrift/internal/opcount"
@@ -45,6 +47,42 @@ func (c CentroidUpdate) String() string {
 		return "ewma"
 	}
 	return "running-mean"
+}
+
+// GuardPolicy selects what Process does with a sample carrying a
+// non-finite (NaN/±Inf) feature. Without a guard, a single bad sample —
+// a flaky sensor over a months-long deployment — flows into the centroid
+// running means and the rank-1 RLS update, after which every distance
+// and score is NaN and every threshold comparison silently fails
+// forever: the detector looks alive but can never detect drift again.
+type GuardPolicy int
+
+const (
+	// GuardReject (the default) refuses the sample before it touches any
+	// model or centroid state: the rejection counter increments and
+	// Process returns the last accepted sample's Result with the Rejected
+	// flag set.
+	GuardReject GuardPolicy = iota
+	// GuardClamp repairs the sample into a scratch buffer (NaN → 0,
+	// ±Inf → ±ClampLimit) and processes the repaired copy; the caller's
+	// slice is never written.
+	GuardClamp
+	// GuardPanic panics on the first non-finite feature — for tests and
+	// pipelines where a bad sample indicates a bug upstream that must not
+	// be papered over.
+	GuardPanic
+)
+
+// String implements fmt.Stringer.
+func (g GuardPolicy) String() string {
+	switch g {
+	case GuardClamp:
+		return "clamp"
+	case GuardPanic:
+		return "panic"
+	default:
+		return "reject"
+	}
 }
 
 // Phase is the detector's state-machine phase.
@@ -164,6 +202,12 @@ type Config struct {
 	// AlwaysCheck opens windows unconditionally instead of gating on
 	// θ_error (ablation).
 	AlwaysCheck bool
+	// Guard selects the non-finite-input policy; the zero value is
+	// GuardReject, the production default.
+	Guard GuardPolicy
+	// ClampLimit is the magnitude ±Inf features are clamped to under
+	// GuardClamp; 0 means 1e12.
+	ClampLimit float64
 }
 
 // DefaultConfig returns the paper-faithful configuration for a given
@@ -208,6 +252,15 @@ func (c Config) withDefaults(classes int) (Config, error) {
 	if c.EWMAGamma < 0 || c.EWMAGamma > 1 {
 		return c, fmt.Errorf("core: EWMAGamma %v out of [0,1]", c.EWMAGamma)
 	}
+	if c.Guard < GuardReject || c.Guard > GuardPanic {
+		return c, fmt.Errorf("core: unknown guard policy %d", int(c.Guard))
+	}
+	if c.ClampLimit == 0 {
+		c.ClampLimit = 1e12
+	}
+	if c.ClampLimit < 0 || math.IsNaN(c.ClampLimit) || math.IsInf(c.ClampLimit, 0) {
+		return c, fmt.Errorf("core: ClampLimit %v must be finite and positive", c.ClampLimit)
+	}
 	return c, nil
 }
 
@@ -223,9 +276,15 @@ type Result struct {
 	// DriftDetected is true exactly on the sample whose window close
 	// crossed θ_drift.
 	DriftDetected bool
-	// Dist is the current summed centroid distance (meaningful while
-	// checking).
+	// Dist is the summed centroid distance accumulated by this sample's
+	// window, 0 when no check window consumed the sample. (It used to
+	// report the previous window's stale distance between checks.)
 	Dist float64
+	// Rejected is true when the ingestion guard refused the sample
+	// (non-finite feature under GuardReject); the remaining fields replay
+	// the last accepted sample's result, except DriftDetected which is
+	// always false on a rejection.
+	Rejected bool
 }
 
 // Detector is the proposed sequential drift detector bound to a
@@ -263,10 +322,18 @@ type Detector struct {
 
 	calibrated bool
 
+	// Ingestion-guard and divergence bookkeeping (see GuardPolicy).
+	rejected    uint64
+	clamped     uint64
+	divergences uint64    // monitoring samples whose score came back non-finite
+	lastGood    Result    // replayed (flagged) on a rejection
+	clampBuf    []float64 // repaired-sample scratch, allocated for GuardClamp
+
 	ops       *opcount.Counter
 	stageOps  [numStages]opcount.Counter
 	stageN    [numStages]uint64
-	scoreHist *stats.Running // anomaly scores seen while monitoring (diagnostics)
+	scoreHist *stats.Running   // anomaly scores seen while monitoring (diagnostics)
+	scoreBins *stats.Histogram // score distribution over [0, 4·θ_error), for health
 }
 
 // New binds a detector to a model. Calibrate must be called before
@@ -276,13 +343,17 @@ func New(m *model.Multi, cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{
+	d := &Detector{
 		cfg:       c,
 		model:     m,
 		classes:   m.Classes(),
 		dims:      m.Config().Inputs,
 		scoreHist: &stats.Running{},
-	}, nil
+	}
+	if c.Guard == GuardClamp {
+		d.clampBuf = make([]float64, d.dims)
+	}
+	return d, nil
 }
 
 // Config returns the defaulted configuration.
@@ -397,6 +468,9 @@ func (d *Detector) Calibrate(xs [][]float64, labels []int) error {
 		if l < 0 || l >= d.classes {
 			return fmt.Errorf("core: label %d out of range [0,%d)", l, d.classes)
 		}
+		if !mat.AllFinite(x) {
+			return fmt.Errorf("core: training sample %d has a non-finite feature", i)
+		}
 		d.num[l] = mat.RunningMeanUpdate(d.trainCor[l], d.num[l], x)
 	}
 	for c := range d.cor {
@@ -435,11 +509,24 @@ func (d *Detector) Calibrate(xs [][]float64, labels []int) error {
 		d.thetaError = m2 + d.cfg.ZError*s2
 	}
 
+	d.initScoreBins()
+
 	d.drift, d.check, d.win, d.dist, d.count = false, false, 0, 0, 0
 	d.reconDists.Reset()
 	d.reconScores.Reset()
 	d.calibrated = true
 	return nil
+}
+
+// initScoreBins (re)creates the health histogram of monitoring scores
+// over [0, 4·θ_error) — wide enough to show the drift-triggering tail
+// without letting outliers flatten the resolution near the threshold.
+func (d *Detector) initScoreBins() {
+	hi := 4 * d.thetaError
+	if !(hi > 0) || math.IsInf(hi, 0) {
+		hi = 1
+	}
+	d.scoreBins = stats.NewHistogram(0, hi, 16)
 }
 
 // stage wraps fn with per-stage op accounting.
@@ -457,6 +544,15 @@ func (d *Detector) stage(s Stage, fn func()) {
 
 // Process consumes one sample and advances the state machine
 // (Algorithm 1). It panics if Calibrate has not run.
+//
+// Samples carrying a non-finite feature never reach the model or
+// centroid state; they are handled by the configured GuardPolicy first.
+// Under the default GuardReject the accepted-sample stream behaves
+// exactly as if the bad samples had never existed — same drift events,
+// same centroids, bit for bit. The finiteness scan is integer-pipeline
+// work (one subtract and compare per feature) and is deliberately not
+// op-counted: the paper's Table 5/6 cost model tracks floating-point
+// arithmetic on the data path.
 func (d *Detector) Process(x []float64) Result {
 	if !d.calibrated {
 		panic("core: Process before Calibrate")
@@ -464,10 +560,28 @@ func (d *Detector) Process(x []float64) Result {
 	if len(x) != d.dims {
 		panic(fmt.Sprintf("core: sample dimension %d, want %d", len(x), d.dims))
 	}
+	if !mat.AllFinite(x) {
+		switch d.cfg.Guard {
+		case GuardPanic:
+			panic("core: non-finite feature in sample (GuardPanic policy)")
+		case GuardClamp:
+			d.clamped++
+			x = d.clampInto(x)
+		default: // GuardReject
+			d.rejected++
+			res := d.lastGood
+			res.Rejected = true
+			res.DriftDetected = false
+			res.Phase = d.PhaseNow()
+			return res
+		}
+	}
 	d.samplesSeen++
 
 	if d.drift {
-		return d.reconstructStep(x)
+		res := d.reconstructStep(x)
+		d.lastGood = res
+		return res
 	}
 
 	var label int
@@ -475,7 +589,21 @@ func (d *Detector) Process(x []float64) Result {
 	d.stage(StageLabelPrediction, func() {
 		label, score = d.model.Predict(x)
 	})
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		// The input was finite, so the model's own state has diverged
+		// (e.g. RLS blow-up between watchdog passes). Degrade gracefully:
+		// rebuild the model through the reconstruction path instead of
+		// comparing NaN against θ_error forever. Not recorded as a drift
+		// event — it is a health event, visible in Health().
+		d.divergences++
+		d.scoreBins.Observe(score) // counted as dropped, keeping loss visible
+		d.enterReconstruction(false)
+		res := Result{Phase: Reconstructing}
+		d.lastGood = res
+		return res
+	}
 	d.scoreHist.Observe(score)
+	d.scoreBins.Observe(score)
 
 	res := Result{Label: label, Score: score}
 
@@ -493,12 +621,13 @@ func (d *Detector) Process(x []float64) Result {
 			d.dist = d.centroidDist()
 		})
 		d.win++
+		// Dist is reported only on samples a window actually consumed;
+		// capture it before a close can reset the window state.
+		res.Dist = d.dist
 		if d.win == d.cfg.Window {
 			d.ops.AddCmp(1)
 			if d.dist >= d.thetaDrift {
-				d.drift = true
-				d.driftEvents = append(d.driftEvents, d.samplesSeen-1)
-				d.beginReconstruction()
+				d.enterReconstruction(true)
 				res.DriftDetected = true
 			} else if d.cfg.ResetWindowState {
 				d.resetRecent()
@@ -507,9 +636,31 @@ func (d *Detector) Process(x []float64) Result {
 		}
 	}
 
-	res.Dist = d.dist
 	res.Phase = d.PhaseNow()
+	d.lastGood = res
 	return res
+}
+
+// clampInto copies x into the clamp scratch buffer with non-finite
+// features repaired: NaN → 0, ±Inf → ±ClampLimit. The caller's slice is
+// never modified.
+func (d *Detector) clampInto(x []float64) []float64 {
+	if d.clampBuf == nil {
+		d.clampBuf = make([]float64, d.dims)
+	}
+	limit := d.cfg.ClampLimit
+	for i, v := range x {
+		switch {
+		case math.IsNaN(v):
+			v = 0
+		case math.IsInf(v, 1):
+			v = limit
+		case math.IsInf(v, -1):
+			v = -limit
+		}
+		d.clampBuf[i] = v
+	}
+	return d.clampBuf
 }
 
 // updateRecent applies the configured recent-centroid update for label.
@@ -548,10 +699,59 @@ func (d *Detector) TriggerReconstruction() {
 	if d.drift {
 		return // already reconstructing
 	}
+	d.enterReconstruction(true)
+}
+
+// enterReconstruction flips the state machine into Reconstructing.
+// recordEvent distinguishes a detected drift (logged in DriftEvents)
+// from a health-driven model rebuild (counted in Health only): the drift
+// event list is an evaluation artefact and must match the paper's
+// detection semantics exactly.
+func (d *Detector) enterReconstruction(recordEvent bool) {
 	d.drift = true
 	d.check = false
-	d.driftEvents = append(d.driftEvents, d.samplesSeen-1)
+	if recordEvent {
+		d.driftEvents = append(d.driftEvents, d.samplesSeen-1)
+	}
 	d.beginReconstruction()
+}
+
+// Rejected returns how many samples the ingestion guard refused
+// (GuardReject policy).
+func (d *Detector) Rejected() uint64 { return d.rejected }
+
+// Clamped returns how many samples the ingestion guard repaired
+// (GuardClamp policy).
+func (d *Detector) Clamped() uint64 { return d.clamped }
+
+// Divergences returns how many times the model produced a non-finite
+// score on a finite input, forcing a health-driven rebuild.
+func (d *Detector) Divergences() uint64 { return d.divergences }
+
+// Health assembles the detector's structured health snapshot: guard
+// counters, the aggregated RLS watchdog view across all model
+// instances, and the monitoring-score distribution summary.
+func (d *Detector) Health() health.Snapshot {
+	mh := d.model.Health()
+	n, mean, std := d.ScoreStats()
+	s := health.Snapshot{
+		SamplesSeen:      d.samplesSeen,
+		Rejected:         d.rejected,
+		Clamped:          d.clamped,
+		ModelDivergences: d.divergences,
+		WatchdogResets:   mh.WatchdogResets,
+		PTraceMax:        mh.PTrace,
+		PFinite:          mh.PFinite && mh.BetaFinite,
+		ScoreSamples:     n,
+		ScoreMean:        mean,
+		ScoreStd:         std,
+		Phase:            d.PhaseNow().String(),
+	}
+	if d.scoreBins != nil {
+		s.ScoreHistDropped = d.scoreBins.Dropped()
+		s.ScoreHistTotal = d.scoreBins.Total()
+	}
+	return s
 }
 
 // MemoryBytes audits the detector's retained state: the discriminative

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"edgedrift/internal/kmeans"
 	"edgedrift/internal/mat"
 	"edgedrift/internal/rng"
@@ -33,15 +35,24 @@ func (d *Detector) reconstructStep(x []float64) Result {
 		var score float64
 		d.stage(StageRetrainWithPred, func() {
 			label, score = d.model.Predict(x)
-			d.model.Train(x, label)
+			if !math.IsNaN(score) && !math.IsInf(score, 0) {
+				d.model.Train(x, label)
+			}
 		})
-		// Threshold re-estimation uses only this phase: the coordinates
-		// have settled by NRecon/2, so these distances and scores
-		// characterise the new concept.
-		d.reconDists.Observe(d.distance(x, d.cor[label]))
-		d.reconScores.Observe(score)
-		res.Label = label
-		res.Score = score
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			// The rebuilding model itself diverged; training on its own
+			// prediction or folding the score into the threshold
+			// re-estimators would bake the divergence into the new concept.
+			d.divergences++
+		} else {
+			// Threshold re-estimation uses only this phase: the coordinates
+			// have settled by NRecon/2, so these distances and scores
+			// characterise the new concept.
+			d.reconDists.Observe(d.distance(x, d.cor[label]))
+			d.reconScores.Observe(score)
+			res.Label = label
+			res.Score = score
+		}
 	}
 
 	if d.count >= d.cfg.NRecon {

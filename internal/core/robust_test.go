@@ -1,0 +1,317 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"edgedrift/internal/model"
+	"edgedrift/internal/rng"
+)
+
+// driftStream draws nPre samples of the trained concept followed by
+// nPost samples shifted off it, alternating classes like trainSet.
+func driftStream(r *rng.Rand, nPre, nPost int, shift float64) [][]float64 {
+	xs := make([][]float64, 0, nPre+nPost)
+	for i := 0; i < nPre; i++ {
+		xs = append(xs, sample(r, i%testClasses, 0))
+	}
+	for i := 0; i < nPost; i++ {
+		xs = append(xs, sample(r, i%testClasses, shift))
+	}
+	return xs
+}
+
+// poisonEvery returns a copy of xs with a NaN or +Inf feature planted in
+// every stride-th sample, plus the clean subset with those samples
+// removed — the stream "as if the bad samples had never existed".
+func poisonEvery(xs [][]float64, stride int) (poisoned, filtered [][]float64) {
+	for i, x := range xs {
+		if i%stride == stride-1 {
+			bad := append([]float64(nil), x...)
+			if i%(2*stride) == stride-1 {
+				bad[i%len(bad)] = math.NaN()
+			} else {
+				bad[0] = math.Inf(1)
+			}
+			poisoned = append(poisoned, bad)
+			continue
+		}
+		poisoned = append(poisoned, x)
+		filtered = append(filtered, x)
+	}
+	return poisoned, filtered
+}
+
+func guardCfg(g GuardPolicy) Config {
+	cfg := DefaultConfig(50)
+	cfg.NRecon = 300
+	cfg.Guard = g
+	return cfg
+}
+
+// TestGuardRejectBitIdentical is the PR's poison acceptance test: under
+// the default GuardReject, a stream interleaved with NaN/Inf samples
+// must produce bit-identical drift events and final centroids to the
+// same stream with those samples removed, and no Result may carry a
+// non-finite field.
+func TestGuardRejectBitIdentical(t *testing.T) {
+	dirty, r := newCalibrated(t, 7, guardCfg(GuardReject))
+	clean, _ := newCalibrated(t, 7, guardCfg(GuardReject))
+	stream := driftStream(r, 800, 800, 4)
+	poisoned, filtered := poisonEvery(stream, 37)
+
+	for _, x := range poisoned {
+		res := dirty.Process(x)
+		if math.IsNaN(res.Score) || math.IsInf(res.Score, 0) || math.IsNaN(res.Dist) || math.IsInf(res.Dist, 0) {
+			t.Fatalf("non-finite Result field: %+v", res)
+		}
+	}
+	for _, x := range filtered {
+		clean.Process(x)
+	}
+
+	if got, want := dirty.Rejected(), uint64(len(poisoned)-len(filtered)); got != want {
+		t.Fatalf("Rejected = %d, want %d", got, want)
+	}
+	if dirty.SamplesSeen() != clean.SamplesSeen() {
+		t.Fatalf("samplesSeen %d vs %d", dirty.SamplesSeen(), clean.SamplesSeen())
+	}
+
+	de, ce := dirty.DriftEvents(), clean.DriftEvents()
+	if len(de) == 0 {
+		t.Fatal("no drift detected on the drifting stream")
+	}
+	if len(de) != len(ce) {
+		t.Fatalf("drift events %v vs %v", de, ce)
+	}
+	for i := range de {
+		if de[i] != ce[i] {
+			t.Fatalf("drift event %d: index %d vs %d", i, de[i], ce[i])
+		}
+	}
+	for c := 0; c < testClasses; c++ {
+		dc, cc := dirty.RecentCentroid(c), clean.RecentCentroid(c)
+		for i := range dc {
+			if dc[i] != cc[i] {
+				t.Fatalf("class %d centroid[%d]: %v vs %v (not bit-identical)", c, i, dc[i], cc[i])
+			}
+		}
+	}
+}
+
+func TestGuardRejectReplaysLastGood(t *testing.T) {
+	d, r := newCalibrated(t, 3, guardCfg(GuardReject))
+	last := d.Process(sample(r, 0, 0))
+	bad := []float64{math.NaN(), 1, 2, 3}
+	res := d.Process(bad)
+	if !res.Rejected {
+		t.Fatal("Rejected flag not set")
+	}
+	if res.DriftDetected {
+		t.Fatal("rejection reported a drift")
+	}
+	if res.Label != last.Label || res.Score != last.Score {
+		t.Fatalf("rejection did not replay last good result: %+v vs %+v", res, last)
+	}
+	if d.SamplesSeen() != 1 {
+		t.Fatalf("rejected sample counted: samplesSeen = %d", d.SamplesSeen())
+	}
+}
+
+func TestGuardClampRepairsWithoutMutatingCaller(t *testing.T) {
+	d, _ := newCalibrated(t, 4, guardCfg(GuardClamp))
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2}
+	orig := append([]float64(nil), bad...)
+	res := d.Process(bad)
+	if res.Rejected {
+		t.Fatal("clamp policy must not reject")
+	}
+	if d.Clamped() != 1 {
+		t.Fatalf("Clamped = %d, want 1", d.Clamped())
+	}
+	for i := range bad {
+		if !(math.IsNaN(bad[i]) && math.IsNaN(orig[i])) && bad[i] != orig[i] {
+			t.Fatalf("caller slice mutated at %d: %v vs %v", i, bad[i], orig[i])
+		}
+	}
+	if math.IsNaN(res.Score) || math.IsInf(res.Score, 0) {
+		t.Fatalf("clamped sample produced non-finite score: %+v", res)
+	}
+}
+
+func TestGuardPanicPanics(t *testing.T) {
+	d, _ := newCalibrated(t, 5, guardCfg(GuardPanic))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic under GuardPanic")
+		}
+	}()
+	d.Process([]float64{math.NaN(), 0, 0, 0})
+}
+
+func TestCalibrateRejectsNonFinite(t *testing.T) {
+	m, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1006)
+	xs, labels := trainSet(r, 100, 0)
+	if err := m.InitSequential(xs, labels); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(m, DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs[10] = []float64{1, math.Inf(-1), 2, 3}
+	if err := d.Calibrate(xs, labels); err == nil {
+		t.Fatal("Calibrate accepted a non-finite training sample")
+	}
+}
+
+// TestResultDistOnlyDuringCheck locks the satellite fix: Result.Dist
+// must be 0 on samples no check window consumed, instead of replaying
+// the last window's stale distance forever.
+func TestResultDistOnlyDuringCheck(t *testing.T) {
+	d, r := newCalibrated(t, 8, guardCfg(GuardReject))
+	stream := driftStream(r, 1200, 400, 4)
+	sawStaleWindow := false // a closed window left d.dist non-zero
+	for _, x := range stream {
+		before := d.PhaseNow()
+		res := d.Process(x)
+		if before == Reconstructing {
+			continue
+		}
+		consumed := before == Checking || res.Phase == Checking || res.DriftDetected
+		if !consumed {
+			if res.Dist != 0 {
+				t.Fatalf("monitoring sample reported stale Dist %v", res.Dist)
+			}
+			if d.dist != 0 {
+				sawStaleWindow = true // the old bug would have leaked d.dist here
+			}
+		}
+	}
+	if !sawStaleWindow {
+		t.Skip("stream never exercised the stale-dist condition")
+	}
+}
+
+func TestDetectorHealthSnapshot(t *testing.T) {
+	d, r := newCalibrated(t, 9, guardCfg(GuardReject))
+	stream := driftStream(r, 600, 600, 4)
+	for i, x := range stream {
+		if i%50 == 13 {
+			d.Process([]float64{math.NaN(), 0, 0, 0})
+		}
+		d.Process(x)
+	}
+	h := d.Health()
+	if h.SamplesSeen != len(stream) {
+		t.Fatalf("SamplesSeen = %d, want %d", h.SamplesSeen, len(stream))
+	}
+	if h.Rejected == 0 {
+		t.Fatal("Rejected counter empty despite poisoned samples")
+	}
+	if !h.PFinite || !h.Healthy() {
+		t.Fatalf("healthy detector reported unhealthy: %+v", h)
+	}
+	if h.ScoreSamples == 0 || math.IsNaN(h.ScoreMean) {
+		t.Fatalf("score stats missing: %+v", h)
+	}
+	if h.Phase == "" {
+		t.Fatal("Phase missing from snapshot")
+	}
+	if h.String() == "" {
+		t.Fatal("empty health summary string")
+	}
+}
+
+func savedState(t *testing.T) ([]byte, *model.Multi) {
+	t.Helper()
+	d, _ := newCalibrated(t, 11, guardCfg(GuardReject))
+	var buf bytes.Buffer
+	if err := d.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), d.Model()
+}
+
+func TestLoadStateRejectsEveryTruncation(t *testing.T) {
+	full, m := savedState(t)
+	for n := 0; n < len(full); n++ {
+		if _, err := LoadState(bytes.NewReader(full[:n]), m); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFormat", n, len(full), err)
+		}
+	}
+}
+
+func TestLoadStateRejectsEveryFlippedByte(t *testing.T) {
+	full, m := savedState(t)
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x20
+		if _, err := LoadState(bytes.NewReader(mut), m); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flipped byte %d/%d: err = %v, want ErrBadFormat", i, len(full), err)
+		}
+	}
+}
+
+func TestLoadStateV1Legacy(t *testing.T) {
+	full, m := savedState(t)
+	v1 := append([]byte(nil), full[:len(full)-4]...)
+	if v1[5] != '2' {
+		t.Fatalf("unexpected version byte %q", v1[5])
+	}
+	v1[5] = '1'
+	d, err := LoadState(bytes.NewReader(v1), m)
+	if err != nil {
+		t.Fatalf("v1 state failed to load: %v", err)
+	}
+	if !d.calibrated {
+		t.Fatal("loaded detector not calibrated")
+	}
+	if d.scoreBins == nil {
+		t.Fatal("loaded detector missing score histogram")
+	}
+}
+
+func FuzzLoadState(f *testing.F) {
+	m, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(12))
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := rng.New(1012)
+	xs, labels := trainSet(r, 200, 0)
+	if err := m.InitSequential(xs, labels); err != nil {
+		f.Fatal(err)
+	}
+	d, err := New(m, DefaultConfig(50))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := d.Calibrate(xs, labels); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveState(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte("EDDET2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m2, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadState(bytes.NewReader(data), m2)
+		if err == nil && got == nil {
+			t.Fatal("nil detector with nil error")
+		}
+	})
+}

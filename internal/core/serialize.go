@@ -7,15 +7,29 @@ import (
 	"io"
 	"math"
 
+	"edgedrift/internal/ckpt"
 	"edgedrift/internal/model"
 )
 
-// detMagic identifies a serialised detector bundle (version 1).
-var detMagic = [6]byte{'E', 'D', 'D', 'E', 'T', '1'}
+// detMagicV1 and detMagicV2 identify serialised detector bundles. The
+// payloads are identical; v2 appends a CRC32 footer (see internal/ckpt).
+// SaveState writes v2; LoadState accepts both.
+var (
+	detMagicV1 = [6]byte{'E', 'D', 'D', 'E', 'T', '1'}
+	detMagicV2 = [6]byte{'E', 'D', 'D', 'E', 'T', '2'}
+)
 
 // ErrBadFormat reports a stream that is not a serialised detector of a
-// known version.
+// known version, or a v2 artifact that is truncated or corrupt.
 var ErrBadFormat = errors.New("core: not a serialised detector (or unsupported version)")
+
+// Sanity bounds on deserialised shape fields, so a corrupt header fails
+// as ErrBadFormat instead of demanding an absurd allocation.
+const (
+	maxLoadClasses       = 1 << 20
+	maxLoadDims          = 1 << 20
+	maxLoadCentroidElems = 1 << 26
+)
 
 func putU32(w io.Writer, v uint32) error {
 	var b [4]byte
@@ -79,7 +93,9 @@ func (d *Detector) SaveState(w io.Writer) error {
 	if d.drift {
 		return errors.New("core: SaveState during reconstruction")
 	}
-	if _, err := w.Write(detMagic[:]); err != nil {
+	cw := ckpt.NewWriter(w)
+	w = cw
+	if _, err := w.Write(detMagicV2[:]); err != nil {
 		return err
 	}
 	for _, v := range []uint32{
@@ -115,7 +131,7 @@ func (d *Detector) SaveState(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return cw.WriteFooter()
 }
 
 func boolU32(b bool) uint32 {
@@ -125,17 +141,47 @@ func boolU32(b bool) uint32 {
 	return 0
 }
 
-// LoadState deserialises detector state written by SaveState and binds
-// it to the given model, which must match the saved class count and
-// dimension.
+// LoadState deserialises detector state written by SaveState — the
+// current checksummed v2 format or the legacy v1 format — and binds it
+// to the given model, which must match the saved class count and
+// dimension. In the v2 path every failure wraps ErrBadFormat so callers
+// can classify corruption with errors.Is.
 func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 	var got [6]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
-		return nil, fmt.Errorf("core: load header: %w", err)
+		return nil, badFormat(fmt.Errorf("load header: %w", err))
 	}
-	if got != detMagic {
+	switch got {
+	case detMagicV1:
+		return loadStateBody(r, m)
+	case detMagicV2:
+		cr := ckpt.NewReader(r)
+		cr.Fold(got[:])
+		d, err := loadStateBody(cr, m)
+		if err != nil {
+			return nil, badFormat(err)
+		}
+		if err := cr.VerifyFooter(); err != nil {
+			return nil, badFormat(err)
+		}
+		return d, nil
+	default:
 		return nil, ErrBadFormat
 	}
+}
+
+// badFormat wraps a v2 load failure so it matches both ErrBadFormat and
+// the underlying cause.
+func badFormat(err error) error {
+	if errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	return fmt.Errorf("core: corrupt artifact: %w: %w", ErrBadFormat, err)
+}
+
+// loadStateBody parses the version-independent payload that follows the
+// magic.
+func loadStateBody(r io.Reader, m *model.Multi) (*Detector, error) {
 	var u [13]uint32
 	for i := range u {
 		v, err := getU32(r)
@@ -153,6 +199,10 @@ func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 		f[i] = v
 	}
 	classes, dims := int(u[0]), int(u[1])
+	if classes <= 0 || classes > maxLoadClasses || dims <= 0 || dims > maxLoadDims ||
+		classes*dims > maxLoadCentroidElems {
+		return nil, fmt.Errorf("%w: implausible shape %d×%d", ErrBadFormat, classes, dims)
+	}
 	if m.Classes() != classes {
 		return nil, fmt.Errorf("core: model has %d classes, state has %d", m.Classes(), classes)
 	}
@@ -206,5 +256,6 @@ func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 		d.baseNum[c] = int(bn)
 	}
 	d.calibrated = true
+	d.initScoreBins()
 	return d, nil
 }

@@ -352,6 +352,9 @@ func Table2(seed uint64) *Outcome {
 		t.AddRow(res.Name, pct(res.Accuracy), delayCell(res.Delay))
 	}
 	t.AddRow(results[4].Name, pct(results[4].Accuracy), delayCell(results[4].Delay))
+	if h := results[4].Health; h != nil {
+		t.Notes = append(t.Notes, h.String())
+	}
 	ds := nslkdd.Generate(nslkdd.DefaultParams())
 	windows := []int{250, 1000}
 	runs := make([]MethodRun, len(windows))

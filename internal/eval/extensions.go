@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 
 	"edgedrift/internal/core"
 	"edgedrift/internal/datasets/coolingfan"
@@ -27,6 +28,7 @@ func RegistryExtensions() []Experiment {
 		{ID: "ext-fixedpoint", Title: "Extension: Q16.16 fixed-point deployment vs float on the Pico model", Run: ExtensionFixedPoint},
 		{ID: "ext-incremental", Title: "Extension: incremental drift (the Figure 1 type the paper does not evaluate)", Run: ExtensionIncremental},
 		{ID: "ext-realdrift", Title: "Extension: real drift without virtual drift (SEA) — the distribution detectors' blind spot", Run: ExtensionRealDrift},
+		{ID: "ext-health", Title: "Extension: non-finite input robustness — guard policies on a poisoned stream", Run: ExtensionHealth},
 	}
 }
 
@@ -284,6 +286,92 @@ func ExtensionIncremental(seed uint64) *Outcome {
 		}
 		res := RunProposed(det, st.X, st.Labels, RunConfig{DriftAt: 1500})
 		t.AddRow(fmt.Sprintf("W=%d", w), delayCell(res.Delay), len(res.Detections), res.Reconstructions, pct(res.Accuracy))
+	}
+	return &Outcome{Tables: []*Table{t}}
+}
+
+// ExtensionHealth measures what the ingestion guard buys on a stream
+// where a flaky sensor intermittently emits NaN and ±Inf features — the
+// failure mode that, unguarded, poisons the centroid running means after
+// a single sample and silently disables detection for the rest of the
+// deployment. The clean-stream row is the reference; under GuardReject
+// the poisoned run refuses the bad samples and recovers the reference
+// behaviour on the accepted substream, while GuardClamp trades exactness
+// for using every (repaired) sample.
+func ExtensionHealth(seed uint64) *Outcome {
+	pre := synth.NewGaussian([][]float64{{0, 0, 0, 0}, {5, 5, 5, 5}}, 0.35)
+	post := synth.ShiftedGaussian(pre, 6)
+	r := rng.New(seed)
+	trainX, trainY := synth.TrainingSet(pre, 500, r)
+	st, err := synth.Generate(pre, post, 6000, synth.Spec{Kind: synth.Sudden, Start: 2500}, r)
+	if err != nil {
+		panic(err)
+	}
+
+	// Poisoned copy: ~1.6% of samples get a NaN or +Inf feature, the
+	// signature of a dropped sensor read or an overflowed fixed-point
+	// pre-processing step.
+	poison := make([][]float64, len(st.X))
+	bad := 0
+	for i, x := range st.X {
+		px := append([]float64(nil), x...)
+		switch {
+		case i%83 == 7:
+			px[i%len(px)] = math.NaN()
+			bad++
+		case i%211 == 13:
+			px[0] = math.Inf(1)
+			bad++
+		}
+		poison[i] = px
+	}
+
+	mkDet := func(g core.GuardPolicy) *core.Detector {
+		m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+		if err != nil {
+			panic(err)
+		}
+		thetaErr, err := trainPrequential(m, trainX, trainY)
+		if err != nil {
+			panic(err)
+		}
+		cfg := core.DefaultConfig(100)
+		cfg.NRecon = 400
+		cfg.ErrorThreshold = thetaErr
+		cfg.Guard = g
+		det, err := core.New(m, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if err := det.Calibrate(trainX, trainY); err != nil {
+			panic(err)
+		}
+		return det
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: non-finite input robustness (%d of %d samples poisoned, drift at 2500)", bad, len(st.X)),
+		Columns: []string{"stream", "guard", "accuracy (%)", "delay", "detections", "rejected", "clamped", "P finite"},
+		Notes: []string{
+			"reject (default) refuses poisoned samples before they touch any state: the accepted substream behaves exactly like the clean stream",
+			"clamp repairs NaN→0 and ±Inf→±limit and processes the repaired copy, trading exactness for using every sample",
+			"unguarded, a single NaN feature propagates into the centroid running means and every subsequent threshold comparison is false: the detector looks alive but can never fire again",
+		},
+	}
+	for _, rw := range []struct {
+		stream string
+		xs     [][]float64
+		g      core.GuardPolicy
+	}{
+		{"clean", st.X, core.GuardReject},
+		{"poisoned", poison, core.GuardReject},
+		{"poisoned", poison, core.GuardClamp},
+	} {
+		det := mkDet(rw.g)
+		res := RunProposed(det, rw.xs, st.Labels, RunConfig{DriftAt: 2500})
+		h := res.Health
+		t.AddRow(rw.stream, rw.g.String(), pct(res.Accuracy), delayCell(res.Delay),
+			len(res.Detections), h.Rejected, h.Clamped, yesNo(h.PFinite))
 	}
 	return &Outcome{Tables: []*Table{t}}
 }

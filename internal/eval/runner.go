@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"edgedrift/internal/core"
+	"edgedrift/internal/health"
 	"edgedrift/internal/kmeans"
 	"edgedrift/internal/model"
 	"edgedrift/internal/opcount"
@@ -94,6 +95,9 @@ type RunResult struct {
 	DetectorBytes int
 	// Reconstructions counts completed model rebuilds.
 	Reconstructions int
+	// Health is the detector's end-of-stream health snapshot (nil for
+	// methods without one — the baselines and batch detectors).
+	Health *health.Snapshot
 }
 
 // accTracker accumulates overall/pre/post accuracy and the trace.
@@ -193,6 +197,8 @@ func RunProposed(det *core.Detector, xs [][]float64, ys []int, cfg RunConfig) *R
 	res.MemoryBytes = det.MemoryBytes()
 	res.DetectorBytes = det.MemoryBytes() - det.Model().MemoryBytes()
 	res.Reconstructions = det.Reconstructions()
+	h := det.Health()
+	res.Health = &h
 	res.Delay = computeDelay(res.Detections, c.DriftAt)
 	if acc != nil {
 		acc.fill(res)

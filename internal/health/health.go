@@ -1,0 +1,76 @@
+// Package health defines the structured health snapshot of a running
+// drift monitor — the observability seam for months-long unattended
+// operation on edge devices. The numerical-robustness layer (guarded
+// ingestion in core, the RLS watchdog in oselm, the score histogram's
+// dropped-sample accounting in stats) each contribute counters; this
+// package only aggregates and renders them, so it depends on nothing
+// and everything can depend on it.
+package health
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Snapshot is a point-in-time structured health report of a monitor.
+// All counters are cumulative since the monitor was created (or loaded).
+type Snapshot struct {
+	// SamplesSeen counts samples accepted into the detector state
+	// machine; Rejected and Clamped samples are counted separately.
+	SamplesSeen int
+	// Rejected counts samples refused by the Reject ingestion guard
+	// (non-finite features; the sample never touched model or centroid
+	// state).
+	Rejected uint64
+	// Clamped counts samples repaired by the Clamp ingestion guard.
+	Clamped uint64
+	// ModelDivergences counts monitoring samples whose anomaly score came
+	// back non-finite despite finite input — the model state itself had
+	// diverged — triggering the reconstruction-based recovery path.
+	ModelDivergences uint64
+	// WatchdogResets sums, across model instances, how many times the RLS
+	// watchdog re-initialised a diverged P matrix.
+	WatchdogResets uint64
+	// PTraceMax is the largest tr(P) across instances, a condition proxy:
+	// it starts at H/λ and shrinks as evidence accumulates.
+	PTraceMax float64
+	// PFinite is false if any instance's P matrix currently holds a
+	// non-finite element (the watchdog will repair it within a period).
+	PFinite bool
+	// ScoreSamples, ScoreMean and ScoreStd summarise the anomaly scores
+	// observed while monitoring — the live counterpart of the θ_error
+	// calibration.
+	ScoreSamples int
+	ScoreMean    float64
+	ScoreStd     float64
+	// ScoreHistTotal and ScoreHistDropped report the monitoring-score
+	// histogram: observations binned versus observations dropped as NaN.
+	// A nonzero drop count means scores went non-finite at some point.
+	ScoreHistDropped uint64
+	ScoreHistTotal   int
+	// Phase is the detector phase at snapshot time ("monitoring",
+	// "checking", "reconstructing").
+	Phase string
+}
+
+// Healthy reports whether the snapshot describes a monitor with fully
+// finite state and no silent data loss in flight. Past, repaired
+// incidents (rejections, watchdog resets) do not make a monitor
+// unhealthy — surviving them is the point — but non-finite live state
+// does.
+func (s Snapshot) Healthy() bool {
+	return s.PFinite
+}
+
+// String renders the snapshot as a compact single-line summary, suitable
+// for periodic operational logging.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: phase=%s samples=%d rejected=%d clamped=%d",
+		s.Phase, s.SamplesSeen, s.Rejected, s.Clamped)
+	fmt.Fprintf(&b, " divergences=%d watchdog-resets=%d ptrace=%.4g pfinite=%v",
+		s.ModelDivergences, s.WatchdogResets, s.PTraceMax, s.PFinite)
+	fmt.Fprintf(&b, " score(n=%d mean=%.4g std=%.4g dropped=%d)",
+		s.ScoreSamples, s.ScoreMean, s.ScoreStd, s.ScoreHistDropped)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthy(t *testing.T) {
+	s := Snapshot{PFinite: true, Rejected: 100, WatchdogResets: 3}
+	if !s.Healthy() {
+		t.Fatal("repaired incidents must not mark a monitor unhealthy")
+	}
+	s.PFinite = false
+	if s.Healthy() {
+		t.Fatal("non-finite live state must mark the monitor unhealthy")
+	}
+}
+
+func TestStringRendersCounters(t *testing.T) {
+	s := Snapshot{
+		SamplesSeen: 1234, Rejected: 5, Clamped: 2, ModelDivergences: 1,
+		WatchdogResets: 3, PTraceMax: 0.5, PFinite: true,
+		ScoreSamples: 1200, ScoreMean: 0.25, ScoreStd: 0.1,
+		ScoreHistDropped: 1, Phase: "monitoring",
+	}
+	out := s.String()
+	for _, want := range []string{
+		"phase=monitoring", "samples=1234", "rejected=5", "clamped=2",
+		"divergences=1", "watchdog-resets=3", "pfinite=true", "dropped=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}

@@ -497,6 +497,18 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 	return m
 }
 
+// Trace returns the sum of the diagonal of the square matrix m.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic(ErrShape)
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+i]
+	}
+	return s
+}
+
 // FrobeniusNorm returns the Frobenius norm of m.
 func (m *Matrix) FrobeniusNorm() float64 {
 	var s float64
@@ -504,6 +516,32 @@ func (m *Matrix) FrobeniusNorm() float64 {
 		s += v * v
 	}
 	return math.Sqrt(s)
+}
+
+// Asymmetry scans a square matrix and returns the largest absolute
+// off-diagonal mismatch |m[i][j] − m[j][i]| together with the largest
+// magnitude among the compared elements, so callers can judge symmetry
+// loss relative to the matrix's own scale before deciding to repair it.
+func (m *Matrix) Asymmetry() (maxDiff, maxMag float64) {
+	if m.Rows != m.Cols {
+		panic(ErrShape)
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if d := math.Abs(a - b); d > maxDiff {
+				maxDiff = d
+			}
+			if aa := math.Abs(a); aa > maxMag {
+				maxMag = aa
+			}
+			if ab := math.Abs(b); ab > maxMag {
+				maxMag = ab
+			}
+		}
+	}
+	return maxDiff, maxMag
 }
 
 // SymmetrizeInPlace replaces m with (m + mᵀ)/2, repairing the small

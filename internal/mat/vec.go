@@ -191,6 +191,18 @@ func ArgMax(xs []float64) int {
 	return best
 }
 
+// AllFinite reports whether every element of x is finite. The v−v trick
+// compiles to one subtract and one add per element: v−v is 0 for every
+// finite v and NaN for ±Inf and NaN, so the accumulator ends non-zero
+// (NaN) exactly when a non-finite element is present.
+func AllFinite(x []float64) bool {
+	var acc float64
+	for _, v := range x {
+		acc += v - v
+	}
+	return acc == 0
+}
+
 // CopyVec returns a copy of x.
 func CopyVec(x []float64) []float64 {
 	c := make([]float64, len(x))

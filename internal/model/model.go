@@ -7,6 +7,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"edgedrift/internal/opcount"
 	"edgedrift/internal/oselm"
@@ -203,6 +204,21 @@ func (m *Multi) SetOps(c *opcount.Counter) {
 	for _, ae := range m.instances {
 		ae.SetOps(c)
 	}
+}
+
+// Health aggregates the per-instance RLS watchdog views: the worst
+// (largest, NaN-propagating) P trace, finiteness across every instance,
+// and the summed watchdog reset count.
+func (m *Multi) Health() oselm.Health {
+	agg := oselm.Health{PFinite: true, BetaFinite: true}
+	for _, ae := range m.instances {
+		h := ae.Model().HealthNow()
+		agg.PTrace = math.Max(agg.PTrace, h.PTrace)
+		agg.PFinite = agg.PFinite && h.PFinite
+		agg.BetaFinite = agg.BetaFinite && h.BetaFinite
+		agg.WatchdogResets += h.WatchdogResets
+	}
+	return agg
 }
 
 // MemoryBytes reports the retained bytes across all instances plus the

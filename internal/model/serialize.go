@@ -6,50 +6,86 @@ import (
 	"fmt"
 	"io"
 
+	"edgedrift/internal/ckpt"
 	"edgedrift/internal/oselm"
 )
 
-// multiMagic identifies a serialised multi-instance model (version 1).
-var multiMagic = [6]byte{'M', 'U', 'L', 'T', 'I', '1'}
+// multiMagicV1 and multiMagicV2 identify serialised multi-instance
+// models. v2 wraps the v1 layout (header plus per-instance artifacts) in
+// a whole-stream CRC32 footer, covering the per-instance checksums too.
+// Save writes v2; Load accepts both.
+var (
+	multiMagicV1 = [6]byte{'M', 'U', 'L', 'T', 'I', '1'}
+	multiMagicV2 = [6]byte{'M', 'U', 'L', 'T', 'I', '2'}
+)
 
 // ErrBadFormat reports a stream that is not a serialised multi-instance
-// model of a known version.
+// model of a known version, or a v2 artifact that is truncated or
+// corrupt.
 var ErrBadFormat = errors.New("model: not a serialised multi-instance model (or unsupported version)")
 
 // Save serialises the model — configuration plus every instance — so a
 // host-trained model can be shipped to a device (use oselm.Float32 for
 // the halved deployment footprint).
 func (m *Multi) Save(w io.Writer, prec oselm.Precision) (int64, error) {
-	var n int64
-	if k, err := w.Write(multiMagic[:]); err != nil {
-		return int64(k), err
+	cw := ckpt.NewWriter(w)
+	if _, err := cw.Write(multiMagicV2[:]); err != nil {
+		return cw.N(), err
 	}
-	n += int64(len(multiMagic))
 	var head [4]byte
 	binary.LittleEndian.PutUint32(head[:], uint32(m.cfg.Classes))
-	if _, err := w.Write(head[:]); err != nil {
-		return n, err
+	if _, err := cw.Write(head[:]); err != nil {
+		return cw.N(), err
 	}
-	n += 4
 	for i, ae := range m.instances {
-		k, err := ae.Save(w, prec)
-		n += k
-		if err != nil {
-			return n, fmt.Errorf("model: instance %d: %w", i, err)
+		if _, err := ae.Save(cw, prec); err != nil {
+			return cw.N(), fmt.Errorf("model: instance %d: %w", i, err)
 		}
 	}
-	return n, nil
+	if err := cw.WriteFooter(); err != nil {
+		return cw.N(), err
+	}
+	return cw.N(), nil
 }
 
-// Load deserialises a model written by Save.
+// Load deserialises a model written by Save — the current checksummed v2
+// format or the legacy v1 format. In the v2 path every failure wraps
+// ErrBadFormat so callers can classify corruption with errors.Is.
 func Load(r io.Reader) (*Multi, error) {
 	var got [6]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
-		return nil, fmt.Errorf("model: load header: %w", err)
+		return nil, badFormat(fmt.Errorf("load header: %w", err))
 	}
-	if got != multiMagic {
+	switch got {
+	case multiMagicV1:
+		return loadBody(r)
+	case multiMagicV2:
+		cr := ckpt.NewReader(r)
+		cr.Fold(got[:])
+		m, err := loadBody(cr)
+		if err != nil {
+			return nil, badFormat(err)
+		}
+		if err := cr.VerifyFooter(); err != nil {
+			return nil, badFormat(err)
+		}
+		return m, nil
+	default:
 		return nil, ErrBadFormat
 	}
+}
+
+// badFormat wraps a v2 load failure so it matches both ErrBadFormat and
+// the underlying cause.
+func badFormat(err error) error {
+	if errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	return fmt.Errorf("model: corrupt artifact: %w: %w", ErrBadFormat, err)
+}
+
+// loadBody parses the version-independent payload that follows the magic.
+func loadBody(r io.Reader) (*Multi, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, err
@@ -59,8 +95,10 @@ func Load(r io.Reader) (*Multi, error) {
 		return nil, ErrBadFormat
 	}
 	m := &Multi{
-		instances: make([]*oselm.Autoencoder, classes),
-		scores:    make([]float64, classes),
+		instances:    make([]*oselm.Autoencoder, classes),
+		scores:       make([]float64, classes),
+		parWorkers:   1,
+		parThreshold: defaultParallelThreshold,
 	}
 	for i := range m.instances {
 		ae, err := oselm.LoadAutoencoder(r)
@@ -78,6 +116,9 @@ func Load(r io.Reader) (*Multi, error) {
 		Ridge:       c0.Ridge,
 		WeightScale: c0.WeightScale,
 	}
+	// Restore the fields New derives, so SetParallelism works on a
+	// loaded model exactly as on a constructed one.
+	m.predictMACs = classes * 2 * c0.Inputs * c0.Hidden
 	for i, ae := range m.instances[1:] {
 		ci := ae.Model().Config()
 		if ci.Inputs != c0.Inputs {

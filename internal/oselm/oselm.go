@@ -116,7 +116,27 @@ type Model struct {
 	e     []float64 // residual tᵀ − hᵀβ
 	ops   *opcount.Counter
 	inits int // samples consumed since last Reset (sequential-only training)
+
+	// RLS health watchdog state; see watchdog().
+	wdPeriod   int     // trains between watchdog passes
+	wdCount    int     // trains since the last pass
+	wdResets   uint64  // divergence repairs since creation
+	traceLimit float64 // tr(P) above this counts as divergence
 }
+
+// Watchdog defaults. The period keeps the O(H²) P scan amortised to a
+// fraction of one Train (which is itself O(H²)); the trace limit is a
+// large multiple of tr(P₀) = H/λ — RLS shrinks P as evidence
+// accumulates, so sustained growth past that is divergence, not data.
+const (
+	defaultWatchdogPeriod     = 64
+	defaultTraceLimitFactor   = 1e6
+	watchdogTraceLimitMinimum = 1e12
+	// watchdogAsymmetryTol is the relative symmetry-loss threshold above
+	// which the watchdog re-symmetrises P. Independent rounding of the
+	// (i,j)/(j,i) rank-1 updates sits many orders of magnitude below it.
+	watchdogAsymmetryTol = 1e-8
+)
 
 // New creates a model with random input weights drawn from r and the
 // purely sequential initialisation P = (1/λ)·I, β = 0. This is the
@@ -139,8 +159,34 @@ func New(cfg Config, r *rng.Rand) (*Model, error) {
 	}
 	r.FillUniform(m.w.Data, -c.WeightScale, c.WeightScale)
 	r.FillUniform(m.bias, -c.WeightScale, c.WeightScale)
+	m.initWatchdog()
 	m.resetState()
 	return m, nil
+}
+
+// initWatchdog sets the watchdog defaults from the configuration.
+//
+// The periodic watchdog defaults on only at Forgetting == 1 — the
+// paper's deployed configuration. There tr(P) starts at H/λ and is
+// non-increasing (each rank-1 update subtracts a PSD term), so trace
+// growth or symmetry loss can only mean numerical divergence. With
+// forgetting < 1, unbounded P growth — and eventual divergence — is the
+// variant's documented pathology, the behaviour the paper's comparison
+// tables record; silently repairing it would misrepresent that
+// baseline, so the periodic watchdog stays off unless a caller opts in
+// via SetWatchdogPeriod, which re-arms the per-sample denominator guard
+// in Train along with the periodic scan.
+func (m *Model) initWatchdog() {
+	if m.cfg.Forgetting < 1 {
+		m.wdPeriod = 0
+		m.traceLimit = math.Inf(1)
+		return
+	}
+	m.wdPeriod = defaultWatchdogPeriod
+	m.traceLimit = defaultTraceLimitFactor * float64(m.cfg.Hidden) / m.cfg.Ridge
+	if m.traceLimit < watchdogTraceLimitMinimum {
+		m.traceLimit = watchdogTraceLimitMinimum
+	}
 }
 
 // resetState restores the sequential-learning start state, keeping the
@@ -150,6 +196,7 @@ func (m *Model) resetState() {
 	m.p.Zero()
 	m.p.AddDiag(1 / m.cfg.Ridge)
 	m.inits = 0
+	m.wdCount = 0
 }
 
 // Reset clears everything learned (β and P) while keeping the fixed
@@ -226,6 +273,18 @@ func (m *Model) Train(x, t []float64) {
 	m.ops.AddMulAdd(m.cfg.Hidden)
 	m.ops.AddAdd(1)
 
+	// With P symmetric positive definite, hᵀPh ≥ 0 and denom ≥ α > 0. A
+	// non-positive or non-finite denominator means the inverse-covariance
+	// state has already diverged; folding the sample in would poison β as
+	// well. Repair P instead of continuing with garbage. Gated on the
+	// same switch as the periodic watchdog (see initWatchdog): forgetting
+	// variants run unguarded by default because their divergence is the
+	// recorded baseline behaviour, not a fault.
+	if m.wdPeriod > 0 && (!(denom > 0) || math.IsInf(denom, 0)) {
+		m.repairDivergence()
+		return
+	}
+
 	// P ← (P − ph·phᵀ/denom) / alpha
 	m.p.AddScaledOuter(-1/denom, m.ph, m.ph)
 	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Hidden)
@@ -251,6 +310,89 @@ func (m *Model) Train(x, t []float64) {
 	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
 
 	m.inits++
+	m.wdCount++
+	if m.wdCount >= m.wdPeriod {
+		m.wdCount = 0
+		m.watchdog()
+	}
+}
+
+// Health is the RLS watchdog's structured view of the model state.
+type Health struct {
+	// PTrace is tr(P), a cheap condition proxy: it starts at H/λ and
+	// shrinks as evidence accumulates; sustained explosion means the
+	// Sherman-Morrison recursion has diverged.
+	PTrace float64
+	// PFinite and BetaFinite report whether every element of P / β is
+	// finite right now.
+	PFinite, BetaFinite bool
+	// WatchdogResets counts divergence repairs (P re-initialised from the
+	// calibration path) since the model was created.
+	WatchdogResets uint64
+}
+
+// HealthNow scans the learned state and reports the watchdog's view of
+// it. The scan is O(H² + H·M); call it at diagnostic cadence, not per
+// sample — the periodic watchdog already guards the hot path.
+func (m *Model) HealthNow() Health {
+	return Health{
+		PTrace:         m.p.Trace(),
+		PFinite:        mat.AllFinite(m.p.Data),
+		BetaFinite:     mat.AllFinite(m.beta.Data),
+		WatchdogResets: m.wdResets,
+	}
+}
+
+// WatchdogResets returns how many times the watchdog re-initialised P.
+func (m *Model) WatchdogResets() uint64 { return m.wdResets }
+
+// SetWatchdogPeriod overrides how many Train calls elapse between
+// watchdog passes; period ≤ 0 disables the watchdog entirely — both the
+// periodic pass and the in-update denominator guard. A positive period
+// arms both, including on forgetting models where the watchdog is off
+// by default (see initWatchdog).
+func (m *Model) SetWatchdogPeriod(period int) {
+	m.wdPeriod = period
+	m.wdCount = 0
+}
+
+// watchdog is the periodic RLS health pass: it re-symmetrises P (rank-1
+// updates preserve symmetry only up to floating-point rounding, and the
+// Sherman-Morrison recursion assumes a symmetric P) and repairs outright
+// divergence — non-finite elements or a trace explosion — by
+// re-initialising P from the calibration path P₀ = (1/λ)·I. β is kept
+// when finite: the learned mapping is still valid, only the step-size
+// state is rebuilt.
+func (m *Model) watchdog() {
+	if m.wdPeriod <= 0 {
+		return
+	}
+	tr := m.p.Trace()
+	if math.IsNaN(tr) || math.IsInf(tr, 0) || tr > m.traceLimit || !mat.AllFinite(m.p.Data) {
+		m.repairDivergence()
+		return
+	}
+	// Re-symmetrise only when symmetry loss is material relative to P's
+	// own scale. The rank-1 kernel rounds (i,j) and (j,i) independently,
+	// so ulp-level mismatch is normal background noise; averaging it away
+	// would needlessly perturb the model's trajectory every period.
+	// Material loss only appears when state has been corrupted upstream.
+	if diff, mag := m.p.Asymmetry(); diff > watchdogAsymmetryTol*mag {
+		m.p.SymmetrizeInPlace()
+	}
+}
+
+// repairDivergence is the graceful-degradation path: the inverse
+// covariance restarts from P₀ exactly as a fresh sequential calibration
+// would, and β is zeroed only if it was itself poisoned.
+func (m *Model) repairDivergence() {
+	m.p.Zero()
+	m.p.AddDiag(1 / m.cfg.Ridge)
+	if !mat.AllFinite(m.beta.Data) {
+		m.beta.Zero()
+	}
+	m.wdCount = 0
+	m.wdResets++
 }
 
 // InitTrainBatch performs the classic OS-ELM batch initialisation from

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"edgedrift/internal/ckpt"
 	"edgedrift/internal/mat"
 )
 
@@ -22,23 +23,26 @@ const (
 	Float32 Precision = 1
 )
 
-// magic identifies a serialised OS-ELM model (format version 1).
-var magic = [6]byte{'O', 'S', 'E', 'L', 'M', '1'}
+// magicV1 and magicV2 identify serialised OS-ELM models. The payloads
+// are identical; v2 appends a CRC32 footer (see internal/ckpt) so
+// corruption fails loudly at load time. Save writes v2; Load accepts
+// both.
+var (
+	magicV1 = [6]byte{'O', 'S', 'E', 'L', 'M', '1'}
+	magicV2 = [6]byte{'O', 'S', 'E', 'L', 'M', '2'}
+)
 
 // ErrBadFormat reports a stream that is not a serialised model of a
-// known version.
+// known version, or a v2 artifact that is truncated or corrupt.
 var ErrBadFormat = errors.New("oselm: not a serialised OS-ELM model (or unsupported version)")
 
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
+// Sanity bounds on deserialised dimensions: large enough for any model
+// this library can usefully run, small enough that a bit-flipped header
+// can never demand an absurd allocation before the checksum is checked.
+const (
+	maxLoadDim         = 1 << 16
+	maxLoadMatrixElems = 1 << 26
+)
 
 func writeFloats(w io.Writer, prec Precision, xs []float64) error {
 	if prec == Float32 {
@@ -109,47 +113,89 @@ func readF64(r io.Reader) (float64, error) {
 }
 
 // Save serialises the model (random projection, learned state and
-// configuration) to w in a versioned little-endian format. It returns
-// the number of bytes written.
+// configuration) to w in the versioned little-endian v2 format: the
+// payload followed by a CRC32 footer. It returns the number of bytes
+// written.
 func (m *Model) Save(w io.Writer, prec Precision) (int64, error) {
-	cw := &countingWriter{w: w}
-	if _, err := cw.Write(magic[:]); err != nil {
-		return cw.n, err
+	cw := ckpt.NewWriter(w)
+	if _, err := cw.Write(magicV2[:]); err != nil {
+		return cw.N(), err
 	}
 	if _, err := cw.Write([]byte{byte(prec)}); err != nil {
-		return cw.n, err
+		return cw.N(), err
 	}
 	for _, v := range []uint32{
 		uint32(m.cfg.Inputs), uint32(m.cfg.Hidden), uint32(m.cfg.Outputs),
 		uint32(m.cfg.Activation), uint32(m.inits),
 	} {
 		if err := writeU32(cw, v); err != nil {
-			return cw.n, err
+			return cw.N(), err
 		}
 	}
 	for _, v := range []float64{m.cfg.Forgetting, m.cfg.Ridge, m.cfg.WeightScale} {
 		if err := writeF64(cw, v); err != nil {
-			return cw.n, err
+			return cw.N(), err
 		}
 	}
 	for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
 		if err := writeFloats(cw, prec, xs); err != nil {
-			return cw.n, err
+			return cw.N(), err
 		}
 	}
-	return cw.n, nil
+	if err := cw.WriteFooter(); err != nil {
+		return cw.N(), err
+	}
+	return cw.N(), nil
 }
 
-// Load deserialises a model written by Save. The returned model is ready
-// to predict and to continue sequential training.
+// Load deserialises a model written by Save — the current checksummed v2
+// format or the legacy v1 format. The returned model is ready to predict
+// and to continue sequential training. In the v2 path every failure
+// (truncation, checksum mismatch, implausible header) wraps ErrBadFormat
+// so callers can classify corruption with errors.Is.
 func Load(r io.Reader) (*Model, error) {
+	m, _, err := loadVersioned(r)
+	return m, err
+}
+
+// loadVersioned is Load plus the artifact version it found, so nesting
+// callers (LoadAutoencoder) know whether an enclosing footer follows.
+func loadVersioned(r io.Reader) (*Model, int, error) {
 	var got [6]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
-		return nil, fmt.Errorf("oselm: load header: %w", err)
+		return nil, 0, badFormat(fmt.Errorf("load header: %w", err))
 	}
-	if got != magic {
-		return nil, ErrBadFormat
+	switch got {
+	case magicV1:
+		m, err := loadBody(r)
+		return m, 1, err
+	case magicV2:
+		cr := ckpt.NewReader(r)
+		cr.Fold(got[:])
+		m, err := loadBody(cr)
+		if err != nil {
+			return nil, 2, badFormat(err)
+		}
+		if err := cr.VerifyFooter(); err != nil {
+			return nil, 2, badFormat(err)
+		}
+		return m, 2, nil
+	default:
+		return nil, 0, ErrBadFormat
 	}
+}
+
+// badFormat wraps a v2 load failure so it matches both ErrBadFormat and
+// the underlying cause.
+func badFormat(err error) error {
+	if errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	return fmt.Errorf("oselm: corrupt artifact: %w: %w", ErrBadFormat, err)
+}
+
+// loadBody parses the version-independent payload that follows the magic.
+func loadBody(r io.Reader) (*Model, error) {
 	var precByte [1]byte
 	if _, err := io.ReadFull(r, precByte[:]); err != nil {
 		return nil, err
@@ -183,6 +229,9 @@ func Load(r io.Reader) (*Model, error) {
 		Ridge:       f[1],
 		WeightScale: f[2],
 	}
+	if err := checkLoadDims(cfg); err != nil {
+		return nil, err
+	}
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, fmt.Errorf("oselm: load config: %w", err)
@@ -197,10 +246,28 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
+// checkLoadDims rejects deserialised dimensions no valid artifact can
+// carry, so a corrupt header fails as ErrBadFormat instead of demanding
+// a multi-gigabyte allocation.
+func checkLoadDims(c Config) error {
+	dims := [...]int{c.Inputs, c.Hidden, c.Outputs}
+	for _, d := range dims {
+		if d <= 0 || d > maxLoadDim {
+			return fmt.Errorf("%w: implausible dimension %d", ErrBadFormat, d)
+		}
+	}
+	for _, n := range [...]int{c.Hidden * c.Inputs, c.Hidden * c.Outputs, c.Hidden * c.Hidden} {
+		if n > maxLoadMatrixElems {
+			return fmt.Errorf("%w: implausible matrix size %d", ErrBadFormat, n)
+		}
+	}
+	return nil
+}
+
 // newEmpty allocates a model without drawing random weights (they will
 // be overwritten by a load).
 func newEmpty(c Config) *Model {
-	return &Model{
+	m := &Model{
 		cfg:  c,
 		w:    mat.New(c.Hidden, c.Inputs),
 		bias: make([]float64, c.Hidden),
@@ -210,28 +277,48 @@ func newEmpty(c Config) *Model {
 		ph:   make([]float64, c.Hidden),
 		e:    make([]float64, c.Outputs),
 	}
+	m.initWatchdog()
+	return m
 }
 
-// SaveAutoencoder serialises an autoencoder (its model plus the score
-// metric).
+// Save serialises an autoencoder: the score metric followed by its
+// model artifact, the whole wrapped in an outer CRC32 footer so the
+// metric field — which precedes the model's own checksummed region — is
+// covered too.
 func (a *Autoencoder) Save(w io.Writer, prec Precision) (int64, error) {
-	cw := &countingWriter{w: w}
+	cw := ckpt.NewWriter(w)
 	if err := writeU32(cw, uint32(a.metric)); err != nil {
-		return cw.n, err
+		return cw.N(), err
 	}
-	n, err := a.model.Save(cw, prec)
-	return 4 + n, err
+	if _, err := a.model.Save(cw, prec); err != nil {
+		return cw.N(), err
+	}
+	if err := cw.WriteFooter(); err != nil {
+		return cw.N(), err
+	}
+	return cw.N(), nil
 }
 
-// LoadAutoencoder deserialises an autoencoder written by Save.
+// LoadAutoencoder deserialises an autoencoder written by Save. Legacy
+// (v1) instances carry no checksums at all; the embedded model's version
+// decides whether the outer footer is expected.
 func LoadAutoencoder(r io.Reader) (*Autoencoder, error) {
-	metric, err := readU32(r)
+	cr := ckpt.NewReader(r)
+	metric, err := readU32(cr)
+	if err != nil {
+		return nil, badFormat(fmt.Errorf("load metric: %w", err))
+	}
+	if metric > uint32(L2Norm) {
+		return nil, fmt.Errorf("%w: unknown score metric %d", ErrBadFormat, metric)
+	}
+	m, ver, err := loadVersioned(cr)
 	if err != nil {
 		return nil, err
 	}
-	m, err := Load(r)
-	if err != nil {
-		return nil, err
+	if ver == 2 {
+		if err := cr.VerifyFooter(); err != nil {
+			return nil, badFormat(err)
+		}
 	}
 	if m.cfg.Inputs != m.cfg.Outputs {
 		return nil, errors.New("oselm: serialised model is not an autoencoder")

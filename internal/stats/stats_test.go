@@ -324,10 +324,29 @@ func TestHistogramClampsOutliers(t *testing.T) {
 	h := NewHistogram(0, 1, 2)
 	h.Observe(-100)
 	h.Observe(100)
-	h.Observe(math.NaN())
 	c := h.Counts()
-	if c[0] != 2 || c[1] != 1 {
+	if c[0] != 1 || c[1] != 1 {
 		t.Fatalf("clamped counts = %v", c)
+	}
+}
+
+func TestHistogramCountsDroppedNaN(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(0.25)
+	h.Observe(math.NaN())
+	h.Observe(math.NaN())
+	if got := h.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if h.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (NaN must not be binned)", h.Total())
+	}
+	if c := h.Counts(); c[0] != 1 || c[1] != 0 {
+		t.Fatalf("counts = %v: NaN leaked into a bin", c)
+	}
+	h.Reset()
+	if h.Dropped() != 0 || h.Total() != 0 {
+		t.Fatalf("Reset must clear the dropped counter, got %d/%d", h.Dropped(), h.Total())
 	}
 }
 
