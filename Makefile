@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels fuzz-smoke check
+.PHONY: build test vet race bench bench-kernels bench-fleet fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The packages with concurrency: parallel multi-instance scoring (model)
-# and the experiment worker pool (eval). core exercises both transitively.
+# The packages with concurrency: parallel multi-instance scoring (model),
+# the experiment worker pool (eval), and the sharded multi-stream fleet.
+# core exercises model+eval transitively; the root package holds the
+# concurrent Fleet integration tests.
 race:
-	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/...
+	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/... ./internal/fleet/... .
 
 # Kernel and hot-path micro-benchmarks at the detector's real shapes.
 bench-kernels:
@@ -23,6 +25,12 @@ bench-kernels:
 # Paper-table macro benchmarks (regenerates every artifact end to end).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Multi-stream fleet throughput: NSL-KDD replayed as K interleaved
+# streams, exercising the parallel path and a non-default shard count.
+bench-fleet:
+	$(GO) run ./cmd/driftbench fleet -streams 64 -shards 16 -parallel 0
+	$(GO) run ./cmd/driftbench fleet -streams 8 -shards 4 -parallel 4
 
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`

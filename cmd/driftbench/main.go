@@ -8,6 +8,7 @@
 //	driftbench -exp fig4 -csv out/    # also dump CSV series/tables
 //	driftbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	driftbench -list                  # show the experiment registry
+//	driftbench fleet -streams 64      # multi-stream fleet throughput
 package main
 
 import (
@@ -28,6 +29,9 @@ import (
 // silently truncate the profiles exactly when an experiment fails, the
 // case most worth profiling.
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		os.Exit(runFleet(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 

@@ -123,7 +123,11 @@ type Options struct {
 }
 
 // Monitor is the user-facing bundle of discriminative model + drift
-// detector. It is not safe for concurrent use.
+// detector — the single-stream special case of the streaming pipeline.
+// It is not safe for concurrent use: a Monitor is one state machine fed
+// from one goroutine. To monitor many streams concurrently, register
+// one Monitor per stream in a Fleet, which serialises access per member
+// and is the concurrent entry point.
 type Monitor struct {
 	opts  Options
 	model *model.Multi
@@ -131,6 +135,10 @@ type Monitor struct {
 	rng   *rng.Rand
 	fit   bool
 }
+
+// A fitted Monitor is itself a pipeline stage: the Fleet schedules it
+// through the same contract every detector in this repository satisfies.
+var _ core.Streaming = (*Monitor)(nil)
 
 // New builds an untrained Monitor. Call Fit or FitUnsupervised before
 // Process.
@@ -204,15 +212,14 @@ func (m *Monitor) Fit(xs [][]float64, labels []int) error {
 		if z == 0 {
 			z = 2
 		}
-		theta := tail.Mean() + z*tail.Std()
-		// Rebuild the detector with the prequential threshold pinned.
-		cfg := m.det.Config()
-		cfg.ErrorThreshold = theta
-		det, err := core.New(m.model, cfg)
-		if err != nil {
-			return err
+		// Pin the prequential threshold in place. Rebuilding the detector
+		// via core.New here (the old implementation) silently discarded
+		// every guard and health counter accumulated before calibration.
+		if theta := tail.Mean() + z*tail.Std(); theta > 0 {
+			if err := m.det.SetErrorThreshold(theta); err != nil {
+				return err
+			}
 		}
-		m.det = det
 	}
 	if err := m.det.Calibrate(xs, labels); err != nil {
 		return err

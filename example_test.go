@@ -45,6 +45,54 @@ func Example() {
 	// reconstructions completed: 1
 }
 
+// ExampleFleet monitors several independent streams from one process:
+// one fitted Monitor per stream registered in a Fleet, drift events
+// fanned in on a single channel.
+func ExampleFleet() {
+	oldConcept := synth.NewGaussian([][]float64{{0, 0, 0}, {5, 5, 5}}, 0.3)
+	newConcept := synth.ShiftedGaussian(oldConcept, 4)
+	r := rng.New(7)
+	trainX, trainY := synth.TrainingSet(oldConcept, 300, r)
+	stream, err := synth.Generate(oldConcept, newConcept, 3000,
+		synth.Spec{Kind: synth.Sudden, Start: 1000}, r)
+	if err != nil {
+		panic(err)
+	}
+
+	fleet := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	events := fleet.Events()
+	for _, id := range []string{"sensor-a", "sensor-b"} {
+		mon, err := edgedrift.New(edgedrift.Options{
+			Classes: 2, Inputs: 3, Hidden: 8, Window: 50, NRecon: 300, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := mon.Fit(trainX, trainY); err != nil {
+			panic(err)
+		}
+		if err := fleet.Add(id, mon); err != nil {
+			panic(err)
+		}
+	}
+
+	for _, id := range fleet.IDs() {
+		if _, err := fleet.ProcessBatch(id, stream.X); err != nil {
+			panic(err)
+		}
+	}
+	ev1, ev2 := <-events, <-events
+	fmt.Printf("streams monitored: %d\n", fleet.Len())
+	fmt.Printf("drift on %s and %s, both after the true drift: %v\n",
+		ev1.StreamID, ev2.StreamID, ev1.Index >= 1000 && ev2.Index >= 1000)
+	h := fleet.Health()
+	fmt.Printf("fleet healthy: %v, samples seen: %d\n", h.Healthy(), h.SamplesSeen)
+	// Output:
+	// streams monitored: 2
+	// drift on sensor-a and sensor-b, both after the true drift: true
+	// fleet healthy: true, samples seen: 6000
+}
+
 // ExampleMonitor_FitUnsupervised labels the initial window with k-means
 // when no ground-truth labels exist (§3.2 of the paper).
 func ExampleMonitor_FitUnsupervised() {

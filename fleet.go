@@ -1,0 +1,176 @@
+package edgedrift
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/fleet"
+)
+
+// FleetConfig configures a Fleet: registry shard count, ProcessAll
+// worker bound, and the drift-event buffer size. The zero value is
+// ready to use (8 shards, GOMAXPROCS workers, 256 buffered events).
+type FleetConfig = fleet.Config
+
+// FleetEvent is one drift detection, fanned in from every member stream
+// onto the fleet's single subscriber channel (see Fleet.Events).
+type FleetEvent = fleet.Event
+
+// Fleet monitors many independent streams at once: a sharded,
+// multi-tenant registry of Monitors keyed by stream ID. A Monitor alone
+// is the single-stream special case — one state machine, one goroutine;
+// the Fleet is the concurrent entry point, serialising access per
+// member so that distinct streams scale across cores while each
+// stream's results stay deterministic and bit-identical to running its
+// Monitor alone.
+type Fleet struct {
+	f *fleet.Fleet
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet(cfg FleetConfig) *Fleet {
+	return &Fleet{f: fleet.New(cfg)}
+}
+
+// Add registers a fitted monitor under a stream ID. The fleet owns the
+// monitor from here on: drive the stream through ProcessBatch, not
+// through the monitor directly.
+func (f *Fleet) Add(id string, mon *Monitor) error {
+	if mon == nil {
+		return fmt.Errorf("edgedrift: fleet add %q: nil monitor", id)
+	}
+	if !mon.fit {
+		return fmt.Errorf("edgedrift: fleet add %q: monitor not fitted", id)
+	}
+	return f.f.Add(id, mon)
+}
+
+// Remove deregisters a stream, reporting whether it existed.
+func (f *Fleet) Remove(id string) bool { return f.f.Remove(id) }
+
+// Len returns the registered stream count.
+func (f *Fleet) Len() int { return f.f.Len() }
+
+// IDs returns the registered stream IDs, sorted.
+func (f *Fleet) IDs() []string { return f.f.IDs() }
+
+// ProcessBatch feeds a batch of samples to one stream in order and
+// returns the per-sample results. Safe to call concurrently for
+// different streams; one stream's samples must arrive from one caller
+// at a time for its order to be meaningful.
+func (f *Fleet) ProcessBatch(id string, xs [][]float64) ([]Result, error) {
+	return f.f.ProcessBatch(id, xs)
+}
+
+// ProcessBatchInto is ProcessBatch appending into dst — the
+// allocation-free form for callers that reuse a result buffer.
+func (f *Fleet) ProcessBatchInto(dst []Result, id string, xs [][]float64) ([]Result, error) {
+	return f.f.ProcessBatchInto(dst, id, xs)
+}
+
+// ProcessAll fans per-stream batches out over the fleet's bounded
+// worker pool and returns per-stream results keyed like the input.
+func (f *Fleet) ProcessAll(batches map[string][][]float64) (map[string][]Result, error) {
+	return f.f.ProcessAll(batches)
+}
+
+// Events arms drift-event delivery and returns the fleet's single
+// subscriber channel. When the buffer is full, events are dropped and
+// counted (EventsDropped) rather than stalling the processing path.
+func (f *Fleet) Events() <-chan FleetEvent { return f.f.Subscribe() }
+
+// EventsDropped returns how many drift events were discarded because
+// the subscriber channel was full.
+func (f *Fleet) EventsDropped() uint64 { return f.f.EventsDropped() }
+
+// Health rolls every member's snapshot up into one fleet-level
+// snapshot: counters sum, PFinite ANDs (one diverged member makes the
+// fleet unhealthy), score summaries pool, and the phase reports the
+// most operationally active member.
+func (f *Fleet) Health() HealthSnapshot { return f.f.Health() }
+
+// MemberHealth returns each stream's own snapshot, keyed by ID.
+func (f *Fleet) MemberHealth() map[string]HealthSnapshot { return f.f.MemberHealth() }
+
+// MemberStats returns one stream's lifetime sample and drift counts.
+func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
+	return f.f.MemberStats(id)
+}
+
+// MemoryBytes audits the whole fleet's retained state.
+func (f *Fleet) MemoryBytes() int { return f.f.MemoryBytes() }
+
+// Do runs fn against one member while holding that member's lock — the
+// safe way to inspect a single stream while the fleet keeps processing.
+func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
+	return f.f.Do(id, func(s core.Streaming) error {
+		mon, ok := s.(*Monitor)
+		if !ok {
+			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
+		}
+		return fn(mon)
+	})
+}
+
+// Save serialises the whole fleet in sorted-ID order: a FLEET1
+// container in which every member is a complete monitor artifact with
+// its own CRC32 footer, covered again by a container-level footer.
+// Corruption fails loudly at load, naming the damaged member.
+func (f *Fleet) Save(w io.Writer, prec Precision) error {
+	return f.f.Save(w, func(id string, s core.Streaming, w io.Writer) error {
+		mon, ok := s.(*Monitor)
+		if !ok {
+			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
+		}
+		return mon.Save(w, prec)
+	})
+}
+
+// SaveFile atomically writes the fleet artifact to path (temp file,
+// sync, rename — the same crash-safety contract as Monitor.SaveFile).
+func (f *Fleet) SaveFile(path string, prec Precision) error {
+	return f.f.SaveFile(path, func(id string, s core.Streaming, w io.Writer) error {
+		mon, ok := s.(*Monitor)
+		if !ok {
+			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
+		}
+		return mon.Save(w, prec)
+	})
+}
+
+// LoadFleet deserialises a fleet written by Save. Every member is
+// immediately ready to Process. Corruption — container or member level
+// — fails with an error matching ErrBadFormat.
+func LoadFleet(r io.Reader, cfg FleetConfig) (*Fleet, error) {
+	fl := NewFleet(cfg)
+	err := fl.f.Load(r, func(id string, r io.Reader) (core.Streaming, error) {
+		return LoadMonitor(r)
+	})
+	if err != nil {
+		return nil, liftFleetErr(err)
+	}
+	return fl, nil
+}
+
+// LoadFleetFile deserialises a fleet artifact written by SaveFile.
+func LoadFleetFile(path string, cfg FleetConfig) (*Fleet, error) {
+	fl := NewFleet(cfg)
+	err := fl.f.LoadFile(path, func(id string, r io.Reader) (core.Streaming, error) {
+		return LoadMonitor(r)
+	})
+	if err != nil {
+		return nil, liftFleetErr(err)
+	}
+	return fl, nil
+}
+
+// liftFleetErr maps the internal container's format error onto the
+// public ErrBadFormat while preserving the cause chain.
+func liftFleetErr(err error) error {
+	if errors.Is(err, fleet.ErrBadFormat) && !errors.Is(err, ErrBadFormat) {
+		return fmt.Errorf("%w: %w", ErrBadFormat, err)
+	}
+	return err
+}

@@ -1,0 +1,133 @@
+package edgedrift_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/nslkdd"
+)
+
+// The golden-stream regression contract: the composable pipeline must be
+// bit-identical to the monolithic pre-refactor Monitor. These
+// fingerprints were recorded at the seed HEAD (before the pipeline
+// refactor) by hashing every per-sample Result field — label, score
+// bits, distance bits, phase, drift flag, rejection flag — plus the
+// drift-event index list over a fixed NSL-KDD slice. Any change to the
+// state machine's arithmetic, ordering, or guard semantics changes the
+// hash.
+const (
+	goldenCleanFP    = "5a6544ada0f662ab"
+	goldenPoisonedFP = "c8eca51621581921"
+	goldenClampFP    = "313e07398693cb2b"
+)
+
+// goldenDataset is a compact NSL-KDD surrogate slice: big enough to
+// drive the detector through calibration, a drift detection, and a full
+// reconstruction; small enough to keep the regression test interactive.
+func goldenDataset() *nslkdd.Dataset {
+	p := nslkdd.DefaultParams()
+	p.TrainN = 1200
+	p.TestN = 4000
+	p.DriftAt = 2000
+	return nslkdd.Generate(p)
+}
+
+// goldenMonitor builds the fixed configuration the fingerprints lock.
+func goldenMonitor(t testing.TB, guard edgedrift.GuardPolicy) *edgedrift.Monitor {
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: 2,
+		Inputs:  nslkdd.Features,
+		Hidden:  22,
+		Window:  100,
+		Seed:    1,
+		Guard:   guard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+// fingerprint replays xs through mon and hashes every Result field that
+// the paper's evaluation depends on, bit for bit.
+func fingerprint(mon *edgedrift.Monitor, xs [][]float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	bit := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	for _, x := range xs {
+		r := mon.Process(x)
+		u64(uint64(r.Label))
+		u64(math.Float64bits(r.Score))
+		u64(math.Float64bits(r.Dist))
+		u64(uint64(r.Phase))
+		bit(r.DriftDetected)
+		bit(r.Rejected)
+	}
+	for _, e := range mon.DriftEvents() {
+		u64(uint64(e))
+	}
+	u64(uint64(mon.Reconstructions()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// poison returns a copy of xs with a deterministic sprinkling of
+// non-finite features — the rejection-flag path of the fingerprint.
+func poison(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		px := append([]float64(nil), x...)
+		switch {
+		case i%97 == 11:
+			px[i%len(px)] = math.NaN()
+		case i%251 == 42:
+			px[0] = math.Inf(1)
+		}
+		out[i] = px
+	}
+	return out
+}
+
+// TestGoldenStream locks the refactored pipeline to the pre-refactor
+// Monitor output: drift indices, labels, scores, distances, phases and
+// rejection flags must be bit-identical on the fixed NSL-KDD slice.
+func TestGoldenStream(t *testing.T) {
+	ds := goldenDataset()
+	cases := []struct {
+		name  string
+		guard edgedrift.GuardPolicy
+		xs    [][]float64
+		want  string
+	}{
+		{"clean/reject", edgedrift.GuardReject, ds.TestX, goldenCleanFP},
+		{"poisoned/reject", edgedrift.GuardReject, poison(ds.TestX), goldenPoisonedFP},
+		{"poisoned/clamp", edgedrift.GuardClamp, poison(ds.TestX), goldenClampFP},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mon := goldenMonitor(t, tc.guard)
+			if err := mon.Fit(ds.TrainX, ds.TrainY); err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(mon, tc.xs)
+			if got != tc.want {
+				t.Errorf("golden fingerprint drifted: got %s, want %s", got, tc.want)
+			}
+		})
+	}
+}

@@ -288,7 +288,8 @@ type Result struct {
 }
 
 // Detector is the proposed sequential drift detector bound to a
-// multi-instance discriminative model. It is not safe for concurrent use.
+// multi-instance discriminative model. It is not safe for concurrent
+// use; the fleet layer (internal/fleet) is the concurrent entry point.
 type Detector struct {
 	cfg     Config
 	model   *model.Multi
@@ -322,12 +323,12 @@ type Detector struct {
 
 	calibrated bool
 
-	// Ingestion-guard and divergence bookkeeping (see GuardPolicy).
-	rejected    uint64
-	clamped     uint64
-	divergences uint64    // monitoring samples whose score came back non-finite
-	lastGood    Result    // replayed (flagged) on a rejection
-	clampBuf    []float64 // repaired-sample scratch, allocated for GuardClamp
+	// guard is the ingestion stage wrapped around this detector's raw
+	// state machine; Process delegates through it. See Guard in stage.go.
+	guard *Guard
+	// divergences counts monitoring samples whose score came back
+	// non-finite despite finite input (the model state itself diverged).
+	divergences uint64
 
 	ops       *opcount.Counter
 	stageOps  [numStages]opcount.Counter
@@ -350,11 +351,26 @@ func New(m *model.Multi, cfg Config) (*Detector, error) {
 		dims:      m.Config().Inputs,
 		scoreHist: &stats.Running{},
 	}
+	d.guard = NewGuard(machine{d}, c.Guard, c.ClampLimit)
 	if c.Guard == GuardClamp {
-		d.clampBuf = make([]float64, d.dims)
+		// Pre-size the repair scratch so the hot path stays 0-alloc.
+		d.guard.clampBuf = make([]float64, d.dims)
 	}
 	return d, nil
 }
+
+// machine adapts the detector's raw (unguarded) state machine to the
+// Streaming interface so the ingestion Guard can wrap it like any other
+// stage. It is the composition seam between the two layers that used to
+// be one method.
+type machine struct{ d *Detector }
+
+func (m machine) Process(x []float64) Result { return m.d.processAccepted(x) }
+func (m machine) MemoryBytes() int           { return m.d.MemoryBytes() }
+func (m machine) Health() health.Snapshot    { return m.d.Health() }
+func (m machine) PhaseNow() Phase            { return m.d.PhaseNow() }
+
+var _ Streaming = (*Detector)(nil)
 
 // Config returns the defaulted configuration.
 func (d *Detector) Config() Config { return d.cfg }
@@ -370,6 +386,25 @@ func (d *Detector) SetOps(c *opcount.Counter) {
 
 // ThetaError and ThetaDrift return the active thresholds.
 func (d *Detector) ThetaError() float64 { return d.thetaError }
+
+// SetErrorThreshold pins θ_error in place, before or after Calibrate.
+// Called before, it records the override so Calibrate skips the
+// training-score estimate; called after, it also swaps the live
+// threshold and re-bins the health histogram around it. Unlike
+// rebuilding the detector through New, it preserves every accumulated
+// counter — guard rejections, divergences, stage op tallies — which is
+// the point: calibration should pin a number, not erase history.
+func (d *Detector) SetErrorThreshold(theta float64) error {
+	if !(theta > 0) || math.IsInf(theta, 0) {
+		return fmt.Errorf("core: error threshold %v must be finite and positive", theta)
+	}
+	d.cfg.ErrorThreshold = theta
+	if d.calibrated {
+		d.thetaError = theta
+		d.initScoreBins()
+	}
+	return nil
+}
 
 // ThetaDrift returns the active drift threshold θ_drift.
 func (d *Detector) ThetaDrift() float64 { return d.thetaDrift }
@@ -546,13 +581,10 @@ func (d *Detector) stage(s Stage, fn func()) {
 // (Algorithm 1). It panics if Calibrate has not run.
 //
 // Samples carrying a non-finite feature never reach the model or
-// centroid state; they are handled by the configured GuardPolicy first.
-// Under the default GuardReject the accepted-sample stream behaves
-// exactly as if the bad samples had never existed — same drift events,
-// same centroids, bit for bit. The finiteness scan is integer-pipeline
-// work (one subtract and compare per feature) and is deliberately not
-// op-counted: the paper's Table 5/6 cost model tracks floating-point
-// arithmetic on the data path.
+// centroid state; they are handled by the composed ingestion Guard
+// stage first (see stage.go). Under the default GuardReject the
+// accepted-sample stream behaves exactly as if the bad samples had
+// never existed — same drift events, same centroids, bit for bit.
 func (d *Detector) Process(x []float64) Result {
 	if !d.calibrated {
 		panic("core: Process before Calibrate")
@@ -560,28 +592,17 @@ func (d *Detector) Process(x []float64) Result {
 	if len(x) != d.dims {
 		panic(fmt.Sprintf("core: sample dimension %d, want %d", len(x), d.dims))
 	}
-	if !mat.AllFinite(x) {
-		switch d.cfg.Guard {
-		case GuardPanic:
-			panic("core: non-finite feature in sample (GuardPanic policy)")
-		case GuardClamp:
-			d.clamped++
-			x = d.clampInto(x)
-		default: // GuardReject
-			d.rejected++
-			res := d.lastGood
-			res.Rejected = true
-			res.DriftDetected = false
-			res.Phase = d.PhaseNow()
-			return res
-		}
-	}
+	return d.guard.Process(x)
+}
+
+// processAccepted is the raw Algorithm 1 state machine, running on
+// samples the ingestion Guard has already admitted (and, under
+// GuardClamp, repaired).
+func (d *Detector) processAccepted(x []float64) Result {
 	d.samplesSeen++
 
 	if d.drift {
-		res := d.reconstructStep(x)
-		d.lastGood = res
-		return res
+		return d.reconstructStep(x)
 	}
 
 	var label int
@@ -598,9 +619,7 @@ func (d *Detector) Process(x []float64) Result {
 		d.divergences++
 		d.scoreBins.Observe(score) // counted as dropped, keeping loss visible
 		d.enterReconstruction(false)
-		res := Result{Phase: Reconstructing}
-		d.lastGood = res
-		return res
+		return Result{Phase: Reconstructing}
 	}
 	d.scoreHist.Observe(score)
 	d.scoreBins.Observe(score)
@@ -637,30 +656,7 @@ func (d *Detector) Process(x []float64) Result {
 	}
 
 	res.Phase = d.PhaseNow()
-	d.lastGood = res
 	return res
-}
-
-// clampInto copies x into the clamp scratch buffer with non-finite
-// features repaired: NaN → 0, ±Inf → ±ClampLimit. The caller's slice is
-// never modified.
-func (d *Detector) clampInto(x []float64) []float64 {
-	if d.clampBuf == nil {
-		d.clampBuf = make([]float64, d.dims)
-	}
-	limit := d.cfg.ClampLimit
-	for i, v := range x {
-		switch {
-		case math.IsNaN(v):
-			v = 0
-		case math.IsInf(v, 1):
-			v = limit
-		case math.IsInf(v, -1):
-			v = -limit
-		}
-		d.clampBuf[i] = v
-	}
-	return d.clampBuf
 }
 
 // updateRecent applies the configured recent-centroid update for label.
@@ -718,11 +714,11 @@ func (d *Detector) enterReconstruction(recordEvent bool) {
 
 // Rejected returns how many samples the ingestion guard refused
 // (GuardReject policy).
-func (d *Detector) Rejected() uint64 { return d.rejected }
+func (d *Detector) Rejected() uint64 { return d.guard.Rejected() }
 
 // Clamped returns how many samples the ingestion guard repaired
 // (GuardClamp policy).
-func (d *Detector) Clamped() uint64 { return d.clamped }
+func (d *Detector) Clamped() uint64 { return d.guard.Clamped() }
 
 // Divergences returns how many times the model produced a non-finite
 // score on a finite input, forcing a health-driven rebuild.
@@ -736,8 +732,8 @@ func (d *Detector) Health() health.Snapshot {
 	n, mean, std := d.ScoreStats()
 	s := health.Snapshot{
 		SamplesSeen:      d.samplesSeen,
-		Rejected:         d.rejected,
-		Clamped:          d.clamped,
+		Rejected:         d.guard.Rejected(),
+		Clamped:          d.guard.Clamped(),
 		ModelDivergences: d.divergences,
 		WatchdogResets:   mh.WatchdogResets,
 		PTraceMax:        mh.PTrace,

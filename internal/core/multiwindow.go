@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"edgedrift/internal/health"
 	"edgedrift/internal/model"
 )
 
@@ -179,6 +180,33 @@ func (mw *MultiWindow) Process(x []float64) Result {
 	}
 	return agg
 }
+
+// MemoryBytes audits the ensemble's retained state: the shared model
+// counted once, plus each member's detector-only overhead (centroids,
+// counts, accumulators).
+func (mw *MultiWindow) MemoryBytes() int {
+	shared := mw.model.MemoryBytes()
+	total := shared
+	for _, d := range mw.members {
+		total += d.MemoryBytes() - shared
+	}
+	return total
+}
+
+// Health reports the ensemble's health. Every member processes every
+// sample against the same shared model, so member 0's snapshot is fully
+// representative of ingestion and model state; only the phase is
+// ensemble-level (reconstructing while the quorum-elected member drives
+// the shared rebuild).
+func (mw *MultiWindow) Health() health.Snapshot {
+	s := mw.members[0].Health()
+	if mw.recon != nil {
+		s.Phase = Reconstructing.String()
+	}
+	return s
+}
+
+var _ Streaming = (*MultiWindow)(nil)
 
 // adoptStateFrom copies the post-reconstruction centroid state and
 // thresholds from src, re-arming the member against the new concept.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"edgedrift/internal/ckpt"
 	"edgedrift/internal/model"
 	"edgedrift/internal/rng"
 )
@@ -259,22 +260,49 @@ func TestLoadStateRejectsEveryFlippedByte(t *testing.T) {
 	}
 }
 
-func TestLoadStateV1Legacy(t *testing.T) {
+// legacyState rewinds a v3 artifact to the older layouts: strip the two
+// pinned-threshold floats that v3 appended to the float block (they sit
+// right after the 6-byte magic, 13 u32s and 6 f64s), then either keep
+// the recomputed CRC footer (v2) or drop it (v1).
+func legacyState(t *testing.T, full []byte, version byte) []byte {
+	t.Helper()
+	if full[5] != '3' {
+		t.Fatalf("unexpected version byte %q", full[5])
+	}
+	const pinsAt = 6 + 13*4 + 6*8
+	body := append([]byte(nil), full[:pinsAt]...)
+	body = append(body, full[pinsAt+16:len(full)-4]...)
+	body[5] = version
+	if version == '1' {
+		return body
+	}
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	if _, err := cw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteFooter(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadStateLegacyVersions(t *testing.T) {
 	full, m := savedState(t)
-	v1 := append([]byte(nil), full[:len(full)-4]...)
-	if v1[5] != '2' {
-		t.Fatalf("unexpected version byte %q", v1[5])
-	}
-	v1[5] = '1'
-	d, err := LoadState(bytes.NewReader(v1), m)
-	if err != nil {
-		t.Fatalf("v1 state failed to load: %v", err)
-	}
-	if !d.calibrated {
-		t.Fatal("loaded detector not calibrated")
-	}
-	if d.scoreBins == nil {
-		t.Fatal("loaded detector missing score histogram")
+	for _, version := range []byte{'1', '2'} {
+		d, err := LoadState(bytes.NewReader(legacyState(t, full, version)), m)
+		if err != nil {
+			t.Fatalf("v%c state failed to load: %v", version, err)
+		}
+		if !d.calibrated {
+			t.Fatalf("v%c: loaded detector not calibrated", version)
+		}
+		if d.scoreBins == nil {
+			t.Fatalf("v%c: loaded detector missing score histogram", version)
+		}
+		if d.cfg.ErrorThreshold != 0 || d.cfg.DriftThreshold != 0 {
+			t.Fatalf("v%c: legacy load must leave threshold pins zero", version)
+		}
 	}
 }
 
@@ -303,6 +331,7 @@ func FuzzLoadState(f *testing.F) {
 	f.Add(full)
 	f.Add(full[:len(full)/2])
 	f.Add([]byte("EDDET2"))
+	f.Add([]byte("EDDET3"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m2, err := model.New(model.Config{Classes: testClasses, Inputs: testDims, Hidden: 8, Ridge: 1e-2}, rng.New(12))

@@ -11,12 +11,17 @@ import (
 	"edgedrift/internal/model"
 )
 
-// detMagicV1 and detMagicV2 identify serialised detector bundles. The
-// payloads are identical; v2 appends a CRC32 footer (see internal/ckpt).
-// SaveState writes v2; LoadState accepts both.
+// detMagicV1..detMagicV3 identify serialised detector bundles. v2 adds
+// a CRC32 footer over the v1 payload (see internal/ckpt); v3 appends
+// the caller-pinned threshold overrides (Config.ErrorThreshold /
+// DriftThreshold) to the payload — without them a loaded detector
+// re-derived both thresholds after its next reconstruction where the
+// original held the pins, silently diverging. SaveState writes v3;
+// LoadState accepts all three.
 var (
 	detMagicV1 = [6]byte{'E', 'D', 'D', 'E', 'T', '1'}
 	detMagicV2 = [6]byte{'E', 'D', 'D', 'E', 'T', '2'}
+	detMagicV3 = [6]byte{'E', 'D', 'D', 'E', 'T', '3'}
 )
 
 // ErrBadFormat reports a stream that is not a serialised detector of a
@@ -95,7 +100,7 @@ func (d *Detector) SaveState(w io.Writer) error {
 	}
 	cw := ckpt.NewWriter(w)
 	w = cw
-	if _, err := w.Write(detMagicV2[:]); err != nil {
+	if _, err := w.Write(detMagicV3[:]); err != nil {
 		return err
 	}
 	for _, v := range []uint32{
@@ -112,6 +117,10 @@ func (d *Detector) SaveState(w io.Writer) error {
 	for _, v := range []float64{
 		d.cfg.ZDrift, d.cfg.ZError, d.cfg.EWMAGamma,
 		d.thetaError, d.thetaDrift, d.dist,
+		// v3: the pinned-threshold overrides. finishReconstruction only
+		// re-derives a threshold whose cfg pin is zero, so these decide
+		// post-reconstruction behaviour and must survive a round trip.
+		d.cfg.ErrorThreshold, d.cfg.DriftThreshold,
 	} {
 		if err := putF64(w, v); err != nil {
 			return err
@@ -142,10 +151,10 @@ func boolU32(b bool) uint32 {
 }
 
 // LoadState deserialises detector state written by SaveState — the
-// current checksummed v2 format or the legacy v1 format — and binds it
-// to the given model, which must match the saved class count and
-// dimension. In the v2 path every failure wraps ErrBadFormat so callers
-// can classify corruption with errors.Is.
+// current checksummed v3 format or the legacy v1/v2 formats — and binds
+// it to the given model, which must match the saved class count and
+// dimension. In the checksummed paths every failure wraps ErrBadFormat
+// so callers can classify corruption with errors.Is.
 func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 	var got [6]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
@@ -153,11 +162,11 @@ func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 	}
 	switch got {
 	case detMagicV1:
-		return loadStateBody(r, m)
-	case detMagicV2:
+		return loadStateBody(r, m, false)
+	case detMagicV2, detMagicV3:
 		cr := ckpt.NewReader(r)
 		cr.Fold(got[:])
-		d, err := loadStateBody(cr, m)
+		d, err := loadStateBody(cr, m, got == detMagicV3)
 		if err != nil {
 			return nil, badFormat(err)
 		}
@@ -170,8 +179,8 @@ func LoadState(r io.Reader, m *model.Multi) (*Detector, error) {
 	}
 }
 
-// badFormat wraps a v2 load failure so it matches both ErrBadFormat and
-// the underlying cause.
+// badFormat wraps a checksummed-format load failure so it matches both
+// ErrBadFormat and the underlying cause.
 func badFormat(err error) error {
 	if errors.Is(err, ErrBadFormat) {
 		return err
@@ -179,9 +188,11 @@ func badFormat(err error) error {
 	return fmt.Errorf("core: corrupt artifact: %w: %w", ErrBadFormat, err)
 }
 
-// loadStateBody parses the version-independent payload that follows the
-// magic.
-func loadStateBody(r io.Reader, m *model.Multi) (*Detector, error) {
+// loadStateBody parses the payload that follows the magic. hasPins is
+// true for v3, whose float block carries the two pinned-threshold
+// overrides; v1/v2 artifacts predate the pins and load with both zero
+// (their historical behaviour: re-derive after reconstruction).
+func loadStateBody(r io.Reader, m *model.Multi, hasPins bool) (*Detector, error) {
 	var u [13]uint32
 	for i := range u {
 		v, err := getU32(r)
@@ -190,7 +201,10 @@ func loadStateBody(r io.Reader, m *model.Multi) (*Detector, error) {
 		}
 		u[i] = v
 	}
-	var f [6]float64
+	f := make([]float64, 6, 8)
+	if hasPins {
+		f = f[:8]
+	}
 	for i := range f {
 		v, err := getF64(r)
 		if err != nil {
@@ -222,6 +236,9 @@ func loadStateBody(r io.Reader, m *model.Multi) (*Detector, error) {
 		ZDrift:            f[0],
 		ZError:            f[1],
 		EWMAGamma:         f[2],
+	}
+	if hasPins {
+		cfg.ErrorThreshold, cfg.DriftThreshold = f[6], f[7]
 	}
 	d, err := New(m, cfg)
 	if err != nil {

@@ -1,0 +1,45 @@
+package adwin
+
+import (
+	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+)
+
+// Process adapts ADWIN to the core.Streaming stage contract over a
+// bounded scalar stream: the sample's single feature x[0] must lie in
+// [0,1] (for the error-stream use, 0 = correct, 1 = error). Score is the
+// current window mean; DriftDetected reports a window cut. Label is -1 —
+// an error-rate detector predicts no class.
+func (d *Detector) Process(x []float64) core.Result {
+	drift := d.Observe(x[0])
+	return core.Result{
+		Label:         -1,
+		Score:         d.Mean(),
+		Phase:         core.Monitoring,
+		DriftDetected: drift,
+	}
+}
+
+// Reset restores the detector to its as-constructed state (the
+// configuration is kept). The evaluation harness re-arms the detector
+// this way after a drift-triggered model rebuild, so the new concept's
+// error stream is judged against a fresh window rather than the old
+// concept's residue.
+func (d *Detector) Reset() {
+	d.rows = nil
+	d.total, d.seen, d.cuts = 0, 0, 0
+	d.sum = 0
+}
+
+// Health reports the detector's structured health snapshot. The bucket
+// summaries stay finite whenever the observations do (they are sums of
+// [0,1] values), so only counters are interesting.
+func (d *Detector) Health() health.Snapshot {
+	return health.Snapshot{
+		SamplesSeen: d.seen,
+		PFinite:     true,
+		Phase:       core.Monitoring.String(),
+	}
+}
+
+var _ core.Streaming = (*Detector)(nil)

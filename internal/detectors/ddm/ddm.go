@@ -74,6 +74,7 @@ type Detector struct {
 	errs int
 	pMin float64
 	sMin float64
+	seen int // lifetime observations, unaffected by Reset
 }
 
 // New returns a fresh detector.
@@ -85,6 +86,7 @@ func New(cfg Config) *Detector {
 // wrong) and returns the current level. After returning Drift the
 // detector resets itself, matching the usual replace-the-model protocol.
 func (d *Detector) Observe(err bool) Level {
+	d.seen++
 	d.i++
 	if err {
 		d.errs++

@@ -1,0 +1,38 @@
+package ddm
+
+import (
+	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+)
+
+// Process adapts DDM to the core.Streaming stage contract over an
+// error-bit stream: the sample's single feature is the graded prediction
+// outcome, where x[0] >= 0.5 means the model was wrong. The three-state
+// Level maps onto the shared Result vocabulary — InControl is Phase
+// Monitoring, Warning is Phase Checking, and Drift sets DriftDetected
+// (after which the detector has already reset itself, per the usual
+// replace-the-model protocol). Score is the running error rate; Label is
+// -1 — an error-rate detector predicts no class.
+func (d *Detector) Process(x []float64) core.Result {
+	lvl := d.Observe(x[0] >= 0.5)
+	res := core.Result{Label: -1, Score: d.ErrorRate(), Phase: core.Monitoring}
+	switch lvl {
+	case Warning:
+		res.Phase = core.Checking
+	case Drift:
+		res.DriftDetected = true
+	}
+	return res
+}
+
+// Health reports the detector's structured health snapshot: a handful of
+// scalars that cannot go non-finite on a finite error stream.
+func (d *Detector) Health() health.Snapshot {
+	return health.Snapshot{
+		SamplesSeen: d.seen,
+		PFinite:     true,
+		Phase:       core.Monitoring.String(),
+	}
+}
+
+var _ core.Streaming = (*Detector)(nil)

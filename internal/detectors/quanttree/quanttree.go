@@ -104,6 +104,7 @@ type Tree struct {
 	buf    [][]float64 // buffered batch samples (batch-method memory)
 	dims   int
 
+	seen       int
 	batches    int
 	detections int
 	lastStat   float64
@@ -276,6 +277,7 @@ func (t *Tree) Observe(x []float64) (checked, drift bool) {
 	if len(x) != t.dims {
 		panic(fmt.Sprintf("quanttree: sample dimension %d, want %d", len(x), t.dims))
 	}
+	t.seen++
 	t.counts[t.Bin(x)]++
 	// Batch methods retain the raw samples (retraining after a detection
 	// needs them); the copy is part of the audited memory cost.

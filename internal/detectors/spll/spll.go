@@ -92,6 +92,7 @@ type Detector struct {
 	hi, lo float64 // detection thresholds
 
 	buf        [][]float64
+	seen       int
 	batches    int
 	detections int
 	lastStat   float64
@@ -308,6 +309,7 @@ func (d *Detector) Observe(x []float64) (checked, drift bool) {
 	if len(x) != d.dims {
 		panic(fmt.Sprintf("spll: sample dimension %d, want %d", len(x), d.dims))
 	}
+	d.seen++
 	buf := make([]float64, len(x))
 	copy(buf, x)
 	d.buf = append(d.buf, buf)

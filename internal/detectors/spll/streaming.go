@@ -1,0 +1,36 @@
+package spll
+
+import (
+	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+)
+
+// Process adapts the detector to the core.Streaming stage contract, so
+// the evaluation harness and the fleet layer can schedule SPLL exactly
+// like the proposed detector. Between batch closes the result is quiet
+// (Phase Monitoring); the sample that completes a batch carries the test
+// outcome: Phase Checking, Score the log-likelihood statistic, and
+// DriftDetected when it escaped the calibrated band. Label is -1 — a
+// batch change detector predicts no class.
+func (d *Detector) Process(x []float64) core.Result {
+	checked, drift := d.Observe(x)
+	res := core.Result{Label: -1, Phase: core.Monitoring, DriftDetected: drift}
+	if checked {
+		res.Phase = core.Checking
+		res.Score = d.lastStat
+	}
+	return res
+}
+
+// Health reports the detector's structured health snapshot. SPLL's
+// fitted mixture is frozen between retrains, so there is no live state
+// that can diverge; the snapshot is counters only.
+func (d *Detector) Health() health.Snapshot {
+	return health.Snapshot{
+		SamplesSeen: d.seen,
+		PFinite:     true,
+		Phase:       core.Monitoring.String(),
+	}
+}
+
+var _ core.Streaming = (*Detector)(nil)

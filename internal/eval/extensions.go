@@ -62,28 +62,15 @@ func ExtensionErrorRate(seed uint64) *Outcome {
 		oracle bool
 	}
 	for _, sig := range []signal{{"oracle labels", true}, {"self-supervised", false}} {
-		// DDM.
-		res := runErrorRateDetector(ds, cfg, seed, sig.oracle, proposedNReconNSL, func() func(bool) bool {
-			d := ddm.New(ddm.Config{})
-			return func(errBit bool) bool { return d.Observe(errBit) == ddm.Drift }
-		})
+		res := runErrorRateDetector(ds, cfg, seed, sig.oracle, proposedNReconNSL, ddm.New(ddm.Config{}))
 		res.Name = "DDM"
 		t.AddRow(res.Name, sig.name, pct(res.Accuracy), delayCell(res.Delay), len(res.Detections))
 
-		// ADWIN.
-		res = runErrorRateDetector(ds, cfg, seed, sig.oracle, proposedNReconNSL, func() func(bool) bool {
-			d, err := adwin.New(adwin.Config{CheckEvery: 8})
-			if err != nil {
-				panic(err)
-			}
-			return func(errBit bool) bool {
-				v := 0.0
-				if errBit {
-					v = 1
-				}
-				return d.Observe(v)
-			}
-		})
+		ad, err := adwin.New(adwin.Config{CheckEvery: 8})
+		if err != nil {
+			panic(err)
+		}
+		res = runErrorRateDetector(ds, cfg, seed, sig.oracle, proposedNReconNSL, ad)
 		res.Name = "ADWIN"
 		t.AddRow(res.Name, sig.name, pct(res.Accuracy), delayCell(res.Delay), len(res.Detections))
 	}
@@ -100,8 +87,10 @@ func ExtensionErrorRate(seed uint64) *Outcome {
 // runErrorRateDetector wires an error-bit detector to the shared
 // OS-ELM model: each prediction produces an error bit (oracle: wrong
 // label; self-supervised: anomalous score), detections trigger the same
-// sequential reconstruction the proposed method uses.
-func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle bool, nrecon int, mk func() func(bool) bool) *RunResult {
+// sequential reconstruction the proposed method uses. The detector is
+// any core.Streaming over a one-feature error stream (x[0] = 1 on a
+// graded error) — DDM and ADWIN both are, with no adapter code here.
+func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle bool, nrecon int, errDet core.Streaming) *RunResult {
 	m, err := model.New(model.Config{Classes: 2, Inputs: len(ds.TrainX[0]), Hidden: nslHidden, Ridge: 1e-2}, rng.New(seed))
 	if err != nil {
 		panic(err)
@@ -126,10 +115,10 @@ func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle
 		panic(err)
 	}
 
-	observe := mk()
 	res := &RunResult{Name: "error-rate"}
 	c := cfg.withDefaults()
 	acc := newAccTracker(c, m.Classes(), maxLabel(ds.TestY)+1)
+	errSample := make([]float64, 1)
 	for i, x := range ds.TestX {
 		r := det.Process(x)
 		reconstructing := r.Phase == core.Reconstructing
@@ -138,17 +127,17 @@ func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle
 		if reconstructing {
 			continue // the detector is replaying samples into the rebuild
 		}
-		var errBit bool
-		if oracle {
-			errBit = mapped != ds.TestY[i]
-		} else {
-			errBit = r.Score >= thetaErr
+		errSample[0] = 0
+		if oracle && mapped != ds.TestY[i] || !oracle && r.Score >= thetaErr {
+			errSample[0] = 1
 		}
-		if observe(errBit) {
+		if errDet.Process(errSample).DriftDetected {
 			res.Detections = append(res.Detections, i)
 			det.TriggerReconstruction()
 			acc.mapper.Reset()
-			observe = mk() // fresh detector for the new concept
+			if rs, ok := errDet.(Resettable); ok {
+				rs.Reset() // fresh window for the new concept
+			}
 		}
 	}
 	res.Delay = computeDelay(res.Detections, c.DriftAt)
@@ -442,10 +431,7 @@ func ExtensionRealDrift(seed uint64) *Outcome {
 
 	// DDM with oracle labels, adaptation through the shared recon path.
 	ds := &nslkdd.Dataset{TrainX: trainX, TrainY: trainY, TestX: st.X, TestY: st.Labels, DriftAt: 2000}
-	dres := runErrorRateDetector(ds, RunConfig{DriftAt: 2000}, seed, true, 400, func() func(bool) bool {
-		d := ddm.New(ddm.Config{})
-		return func(errBit bool) bool { return d.Observe(errBit) == ddm.Drift }
-	})
+	dres := runErrorRateDetector(ds, RunConfig{DriftAt: 2000}, seed, true, 400, ddm.New(ddm.Config{}))
 	t.AddRow("DDM (oracle labels)", "yes", yesNo(dres.Delay >= 0), delayCell(dres.Delay), pct(dres.Accuracy))
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("DDM raised %d detection(s) in total (pre-drift false alarms included)", len(dres.Detections)))

@@ -95,8 +95,8 @@ type RunResult struct {
 	DetectorBytes int
 	// Reconstructions counts completed model rebuilds.
 	Reconstructions int
-	// Health is the detector's end-of-stream health snapshot (nil for
-	// methods without one — the baselines and batch detectors).
+	// Health is the detector's end-of-stream health snapshot (nil only
+	// for the detector-less passive baselines).
 	Health *health.Snapshot
 }
 
@@ -252,16 +252,26 @@ func runPassive(name string, m *model.Multi, xs [][]float64, ys []int, cfg RunCo
 	return res
 }
 
-// BatchObserver is the behaviour shared by the batch baselines
-// (QuantTree, SPLL): accumulate samples, test when a batch completes.
-type BatchObserver interface {
-	Observe(x []float64) (checked, drift bool)
+// The capability interfaces below are what remains of the old
+// per-detector adapter layer: every detector in this repository is a
+// core.Streaming, and the harness discovers anything beyond that
+// contract — batch sizing, op accounting, re-baselining, re-arming — by
+// capability assertion instead of per-detector wrapper code.
+
+// BatchSized is exposed by batch-based stages (QuantTree, SPLL) that
+// accumulate a ν-sample window between tests; RunBatch sizes its
+// adaptation window to match.
+type BatchSized interface {
 	BatchSize() int
-	MemoryBytes() int
+}
+
+// OpsSettable is exposed by stages whose compute kernels can report into
+// a shared operation counter.
+type OpsSettable interface {
 	SetOps(*opcount.Counter)
 }
 
-// Retrainer is implemented by batch observers that can re-baseline their
+// Retrainer is implemented by batch stages that can re-baseline their
 // reference model on new data after an adaptation; RunBatch invokes it
 // with the buffered window so the detector stops firing against a stale
 // reference once the model has adapted.
@@ -269,22 +279,37 @@ type Retrainer interface {
 	Retrain(train [][]float64, r *rng.Rand) error
 }
 
+// Resettable is implemented by stages that can be re-armed to their
+// as-constructed state after a drift-triggered model rebuild (DDM does
+// this implicitly on detection; ADWIN exposes an explicit Reset).
+type Resettable interface {
+	Reset()
+}
+
 // RunBatch evaluates a batch detector paired with the shared
-// discriminative model. On detection the model is rebuilt from the
-// detector's most recent window: k-means labels the buffered samples and
-// each instance is batch-initialised on its cluster — the adaptation a
-// batch method can afford because it already stores the window.
-func RunBatch(name string, m *model.Multi, obs BatchObserver, xs [][]float64, ys []int, cfg RunConfig, r *rng.Rand) *RunResult {
+// discriminative model. The detector is any core.Streaming that is also
+// BatchSized — there is no batch-specific Observe contract any more. On
+// detection the model is rebuilt from the detector's most recent window:
+// k-means labels the buffered samples and each instance is
+// batch-initialised on its cluster — the adaptation a batch method can
+// afford because it already stores the window.
+func RunBatch(name string, m *model.Multi, obs core.Streaming, xs [][]float64, ys []int, cfg RunConfig, r *rng.Rand) *RunResult {
+	bs, ok := obs.(BatchSized)
+	if !ok {
+		panic(fmt.Sprintf("eval: %s is not BatchSized; RunBatch needs the batch window to adapt from", name))
+	}
 	c := cfg.withDefaults()
 	res := &RunResult{Name: name}
 	var ops opcount.Counter
 	m.SetOps(&ops)
-	obs.SetOps(&ops)
+	if o, ok := obs.(OpsSettable); ok {
+		o.SetOps(&ops)
+	}
 	var acc *accTracker
 	if ys != nil {
 		acc = newAccTracker(c, m.Classes(), maxLabel(ys)+1)
 	}
-	window := make([][]float64, 0, obs.BatchSize())
+	window := make([][]float64, 0, bs.BatchSize())
 	start := time.Now()
 	for i, x := range xs {
 		label, _ := m.Predict(x)
@@ -292,10 +317,10 @@ func RunBatch(name string, m *model.Multi, obs BatchObserver, xs [][]float64, ys
 			acc.observe(i, label, ys[i])
 		}
 		window = append(window, x)
-		if len(window) > obs.BatchSize() {
+		if len(window) > bs.BatchSize() {
 			window = window[1:]
 		}
-		if _, drift := obs.Observe(x); drift {
+		if obs.Process(x).DriftDetected {
 			res.Detections = append(res.Detections, i)
 			batchAdapt(m, window, &ops, r)
 			if rt, ok := obs.(Retrainer); ok {
@@ -317,6 +342,8 @@ func RunBatch(name string, m *model.Multi, obs BatchObserver, xs [][]float64, ys
 	res.Ops = ops
 	res.MemoryBytes = m.MemoryBytes() + obs.MemoryBytes()
 	res.DetectorBytes = obs.MemoryBytes()
+	h := obs.Health()
+	res.Health = &h
 	res.Delay = computeDelay(res.Detections, c.DriftAt)
 	if acc != nil {
 		acc.fill(res)

@@ -1,0 +1,349 @@
+// Package fleet is the multi-stream scheduling layer over the
+// single-stream drift pipeline: a sharded, multi-tenant registry of
+// independent core.Streaming stages keyed by stream ID. One gateway
+// process monitoring hundreds of sensor streams runs one Fleet; each
+// member keeps the paper's O(C·D + H²) sequential state and the fleet
+// adds only a mutex and two counters per member.
+//
+// Concurrency model: every member stage is single-threaded by the
+// Streaming contract, so the fleet serialises access per member with a
+// member mutex and keeps registry lookups cheap with per-shard
+// read-write locks. Different streams never contend on the same lock
+// (beyond their shard's read lock), which is what makes whole-fleet
+// throughput scale with cores; samples of one stream are processed in
+// arrival order, which is what keeps per-stream results deterministic.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/eval"
+	"edgedrift/internal/health"
+)
+
+// Event is one drift detection, fanned in from every member onto the
+// fleet's single subscriber channel.
+type Event struct {
+	// StreamID names the member that detected the drift.
+	StreamID string
+	// Index is the 0-based per-stream sample index of the detection.
+	Index int
+	// Result is the member's per-sample outcome on that sample.
+	Result core.Result
+}
+
+// Config parameterises a Fleet.
+type Config struct {
+	// Shards is the registry shard count; 0 means 8. More shards means
+	// less registry-lock contention when members are added and removed
+	// concurrently with processing.
+	Shards int
+	// Workers bounds ProcessAll's concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// EventBuffer is the drift-event channel capacity; 0 means 256.
+	// Events beyond a full buffer are dropped (and counted) rather than
+	// blocking the processing hot path on a slow subscriber.
+	EventBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+// member is one registered stream: its stage, the lock serialising it,
+// and its lifetime counters.
+type member struct {
+	mu      sync.Mutex
+	stage   core.Streaming
+	samples uint64
+	drifts  uint64
+}
+
+// shard is one slice of the registry.
+type shard struct {
+	mu      sync.RWMutex
+	members map[string]*member
+}
+
+// Fleet is a sharded registry of independently monitored streams. All
+// methods are safe for concurrent use; per-stream sample order is the
+// caller's responsibility (feed one stream from one goroutine, or batch
+// its samples through a single ProcessBatch call).
+type Fleet struct {
+	cfg    Config
+	shards []shard
+
+	events     chan Event
+	subscribed atomic.Bool
+	dropped    atomic.Uint64
+}
+
+// New builds an empty fleet.
+func New(cfg Config) *Fleet {
+	c := cfg.withDefaults()
+	f := &Fleet{
+		cfg:    c,
+		shards: make([]shard, c.Shards),
+		events: make(chan Event, c.EventBuffer),
+	}
+	for i := range f.shards {
+		f.shards[i].members = map[string]*member{}
+	}
+	return f
+}
+
+// shardOf routes a stream ID to its shard (FNV-1a, allocation-free).
+func (f *Fleet) shardOf(id string) *shard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &f.shards[h%uint32(len(f.shards))]
+}
+
+// Add registers a stream. The stage must not be shared with another
+// member or used directly afterwards — the fleet owns its schedule.
+func (f *Fleet) Add(id string, s core.Streaming) error {
+	if id == "" {
+		return fmt.Errorf("fleet: empty stream ID")
+	}
+	if s == nil {
+		return fmt.Errorf("fleet: stream %q: nil stage", id)
+	}
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.members[id]; ok {
+		return fmt.Errorf("fleet: stream %q already registered", id)
+	}
+	sh.members[id] = &member{stage: s}
+	return nil
+}
+
+// Remove deregisters a stream, reporting whether it existed.
+func (f *Fleet) Remove(id string) bool {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.members[id]; !ok {
+		return false
+	}
+	delete(sh.members, id)
+	return true
+}
+
+// Len returns the registered stream count.
+func (f *Fleet) Len() int {
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		n += len(sh.members)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// IDs returns the registered stream IDs, sorted.
+func (f *Fleet) IDs() []string {
+	var ids []string
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		for id := range sh.members {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (f *Fleet) member(id string) (*member, error) {
+	sh := f.shardOf(id)
+	sh.mu.RLock()
+	m, ok := sh.members[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	return m, nil
+}
+
+// ProcessBatch feeds a batch of samples to one stream in order and
+// returns the per-sample results. Batching amortises the lock: the
+// member mutex is taken once per batch, not once per sample.
+func (f *Fleet) ProcessBatch(id string, xs [][]float64) ([]core.Result, error) {
+	return f.ProcessBatchInto(make([]core.Result, 0, len(xs)), id, xs)
+}
+
+// ProcessBatchInto is ProcessBatch appending into dst — the
+// allocation-free form for callers that reuse a result buffer across
+// batches.
+func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) ([]core.Result, error) {
+	m, err := f.member(id)
+	if err != nil {
+		return dst, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, x := range xs {
+		r := m.stage.Process(x)
+		idx := m.samples
+		m.samples++
+		if r.DriftDetected {
+			m.drifts++
+			f.emit(Event{StreamID: id, Index: int(idx), Result: r})
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
+}
+
+// ProcessAll fans a set of per-stream batches out over a bounded worker
+// pool and returns the per-stream results keyed like the input. Each
+// stream's batch is processed sequentially on one worker (preserving
+// per-stream determinism); distinct streams run concurrently. The first
+// failing stream aborts the call.
+func (f *Fleet) ProcessAll(batches map[string][][]float64) (map[string][]core.Result, error) {
+	ids := make([]string, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	results := make([][]core.Result, len(ids))
+	p := eval.NewPool(f.cfg.Workers)
+	for i, id := range ids {
+		i, id := i, id
+		p.Go(func() error {
+			rs, err := f.ProcessBatch(id, batches[id])
+			if err != nil {
+				return err
+			}
+			results[i] = rs
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]core.Result, len(ids))
+	for i, id := range ids {
+		out[id] = results[i]
+	}
+	return out, nil
+}
+
+// Subscribe arms drift-event delivery and returns the fleet's single
+// event channel. Events are fanned in from every member; when the
+// buffer is full an event is dropped and counted rather than stalling
+// processing (see EventsDropped). Before the first Subscribe call no
+// events are buffered at all.
+func (f *Fleet) Subscribe() <-chan Event {
+	f.subscribed.Store(true)
+	return f.events
+}
+
+// EventsDropped returns how many drift events were discarded because
+// the subscriber channel was full.
+func (f *Fleet) EventsDropped() uint64 { return f.dropped.Load() }
+
+func (f *Fleet) emit(ev Event) {
+	if !f.subscribed.Load() {
+		return
+	}
+	select {
+	case f.events <- ev:
+	default:
+		f.dropped.Add(1)
+	}
+}
+
+// Do runs fn against one member's stage while holding that member's
+// lock — the safe way to inspect or checkpoint a single stream while
+// the rest of the fleet keeps processing.
+func (f *Fleet) Do(id string, fn func(core.Streaming) error) error {
+	m, err := f.member(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fn(m.stage)
+}
+
+// MemberStats returns one stream's lifetime sample and drift counts.
+func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
+	m, err := f.member(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples, m.drifts, nil
+}
+
+// Health rolls every member's snapshot up into one fleet-level snapshot
+// (see health.Aggregate for the semantics: counters sum, PFinite ANDs,
+// score summaries pool).
+func (f *Fleet) Health() health.Snapshot {
+	var snaps []health.Snapshot
+	f.eachMember(func(id string, m *member) {
+		m.mu.Lock()
+		snaps = append(snaps, m.stage.Health())
+		m.mu.Unlock()
+	})
+	return health.Aggregate(snaps)
+}
+
+// MemberHealth returns each stream's own snapshot, keyed by ID.
+func (f *Fleet) MemberHealth() map[string]health.Snapshot {
+	out := make(map[string]health.Snapshot, f.Len())
+	f.eachMember(func(id string, m *member) {
+		m.mu.Lock()
+		out[id] = m.stage.Health()
+		m.mu.Unlock()
+	})
+	return out
+}
+
+// MemoryBytes audits the whole fleet's retained state: the sum of every
+// member's audit plus the registry's own per-member overhead.
+func (f *Fleet) MemoryBytes() int {
+	total := 0
+	f.eachMember(func(id string, m *member) {
+		m.mu.Lock()
+		total += m.stage.MemoryBytes() + len(id) + 3*8
+		m.mu.Unlock()
+	})
+	return total
+}
+
+// eachMember visits every member under its shard's read lock. The
+// visit order is unspecified; callers needing determinism sort by ID.
+func (f *Fleet) eachMember(fn func(id string, m *member)) {
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		for id, m := range sh.members {
+			fn(id, m)
+		}
+		sh.mu.RUnlock()
+	}
+}

@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+)
+
+// countStage is a deterministic, trivially serialisable Streaming stage:
+// it echoes x[0] as the score and fires a drift every driftEvery-th
+// sample. It stands in for a Monitor so the container and scheduling
+// logic can be tested without training a model.
+type countStage struct {
+	samples    int
+	driftEvery int
+}
+
+func (c *countStage) Process(x []float64) core.Result {
+	c.samples++
+	r := core.Result{Label: -1, Score: x[0], Phase: core.Monitoring}
+	if c.driftEvery > 0 && c.samples%c.driftEvery == 0 {
+		r.DriftDetected = true
+	}
+	return r
+}
+
+func (c *countStage) MemoryBytes() int { return 2 * 8 }
+
+func (c *countStage) Health() health.Snapshot {
+	return health.Snapshot{SamplesSeen: c.samples, PFinite: true, Phase: "monitoring"}
+}
+
+func encCount(id string, s core.Streaming, w io.Writer) error {
+	c := s.(*countStage)
+	return binary.Write(w, binary.LittleEndian, []uint32{uint32(c.samples), uint32(c.driftEvery)})
+}
+
+func decCount(id string, r io.Reader) (core.Streaming, error) {
+	var u [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, u[:]); err != nil {
+		return nil, err
+	}
+	return &countStage{samples: int(u[0]), driftEvery: int(u[1])}, nil
+}
+
+func samples(n int, base float64) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = []float64{base + float64(i)}
+	}
+	return xs
+}
+
+func TestRegistry(t *testing.T) {
+	f := New(Config{Shards: 4})
+	if err := f.Add("a", &countStage{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("a", &countStage{}); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if err := f.Add("", &countStage{}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := f.Add("b", nil); err == nil {
+		t.Fatal("nil stage accepted")
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		if err := f.Add(id, &countStage{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := f.IDs(); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("IDs = %v", got)
+	}
+	if !f.Remove("c") || f.Remove("c") {
+		t.Fatal("Remove semantics broken")
+	}
+	if _, err := f.ProcessBatch("c", samples(1, 0)); err == nil {
+		t.Fatal("ProcessBatch on removed stream succeeded")
+	}
+}
+
+// TestProcessBatchMatchesDirect locks the scheduling guarantee: results
+// through the fleet are identical to driving the stage directly.
+func TestProcessBatchMatchesDirect(t *testing.T) {
+	direct := &countStage{driftEvery: 7}
+	xs := samples(50, 1)
+	var want []core.Result
+	for _, x := range xs {
+		want = append(want, direct.Process(x))
+	}
+
+	f := New(Config{})
+	if err := f.Add("s", &countStage{driftEvery: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ProcessBatch("s", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fleet results differ from direct stage results")
+	}
+}
+
+// TestProcessAll checks the fan-out path returns every stream's results
+// keyed correctly and identical to sequential processing.
+func TestProcessAll(t *testing.T) {
+	f := New(Config{Workers: 4})
+	batches := map[string][][]float64{}
+	want := map[string][]core.Result{}
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("stream-%02d", i)
+		if err := f.Add(id, &countStage{driftEvery: 5}); err != nil {
+			t.Fatal(err)
+		}
+		xs := samples(40, float64(i))
+		batches[id] = xs
+		ref := &countStage{driftEvery: 5}
+		for _, x := range xs {
+			want[id] = append(want[id], ref.Process(x))
+		}
+	}
+	got, err := f.ProcessAll(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("ProcessAll results differ from sequential reference")
+	}
+}
+
+// TestConcurrentHammer drives many goroutines across shards under the
+// race detector and asserts per-stream determinism: every stream's
+// lifetime counters equal the single-threaded reference no matter how
+// batches interleave across streams.
+func TestConcurrentHammer(t *testing.T) {
+	const streams, goroutinesPer, batches, batchLen = 16, 4, 8, 25
+	f := New(Config{Shards: 4})
+	for i := 0; i < streams; i++ {
+		if err := f.Add(fmt.Sprintf("s%02d", i), &countStage{driftEvery: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, streams*goroutinesPer)
+	for i := 0; i < streams; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		for g := 0; g < goroutinesPer; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]core.Result, 0, batchLen)
+				for b := 0; b < batches; b++ {
+					var err error
+					dst, err = f.ProcessBatchInto(dst[:0], id, samples(batchLen, 0))
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	wantSamples := uint64(goroutinesPer * batches * batchLen)
+	wantDrifts := wantSamples / 9
+	for i := 0; i < streams; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		s, d, err := f.MemberStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != wantSamples || d != wantDrifts {
+			t.Fatalf("%s: samples=%d drifts=%d, want %d/%d", id, s, d, wantSamples, wantDrifts)
+		}
+	}
+	agg := f.Health()
+	if agg.SamplesSeen != int(wantSamples)*streams || !agg.Healthy() {
+		t.Fatalf("aggregate health: %+v", agg)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	f := New(Config{EventBuffer: 4})
+	if err := f.Add("s", &countStage{driftEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Before Subscribe nothing is buffered or counted as dropped.
+	if _, err := f.ProcessBatch("s", samples(6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if f.EventsDropped() != 0 {
+		t.Fatal("events dropped before any subscriber")
+	}
+	ch := f.Subscribe()
+	if len(ch) != 0 {
+		t.Fatal("events buffered before Subscribe")
+	}
+	if _, err := f.ProcessBatch("s", samples(6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Samples 7..12 of the stream: drifts at 1-based 9 and 12, i.e.
+	// 0-based per-stream indices 8 and 11.
+	ev := <-ch
+	if ev.StreamID != "s" || ev.Index != 8 || !ev.Result.DriftDetected {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev = <-ch
+	if ev.Index != 11 {
+		t.Fatalf("second event index = %d, want 11", ev.Index)
+	}
+	// Overflow the small buffer with an undrained subscriber.
+	if _, err := f.ProcessBatch("s", samples(60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if f.EventsDropped() == 0 {
+		t.Fatal("no drops recorded after overflowing the event buffer")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := New(Config{})
+	for i := 0; i < 5; i++ {
+		st := &countStage{driftEvery: 4}
+		for j := 0; j <= i; j++ {
+			st.Process([]float64{0})
+		}
+		if err := f.Add(fmt.Sprintf("m%d", i), st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf, encCount); err != nil {
+		t.Fatal(err)
+	}
+
+	g := New(Config{})
+	if err := g.Load(bytes.NewReader(buf.Bytes()), decCount); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.IDs(), f.IDs()) {
+		t.Fatalf("IDs after load: %v", g.IDs())
+	}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("m%d", i)
+		var got int
+		if err := g.Do(id, func(s core.Streaming) error {
+			got = s.(*countStage).samples
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != i+1 {
+			t.Fatalf("%s: samples=%d, want %d", id, got, i+1)
+		}
+	}
+
+	// Determinism: saving the loaded fleet reproduces the bytes.
+	var buf2 bytes.Buffer
+	if err := g.Save(&buf2, encCount); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save-load-save is not byte-identical")
+	}
+}
+
+// TestLoadCorruption flips every byte of the artifact in turn; every
+// single flip must be caught by a member or container checksum.
+func TestLoadCorruption(t *testing.T) {
+	f := New(Config{})
+	for i := 0; i < 3; i++ {
+		if err := f.Add(fmt.Sprintf("m%d", i), &countStage{driftEvery: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf, encCount); err != nil {
+		t.Fatal(err)
+	}
+	art := buf.Bytes()
+	for pos := 0; pos < len(art); pos++ {
+		bad := append([]byte(nil), art...)
+		bad[pos] ^= 0x40
+		g := New(Config{})
+		if err := g.Load(bytes.NewReader(bad), decCount); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrBadFormat", pos, err)
+		}
+	}
+	// Truncation at any length must also fail.
+	for _, n := range []int{0, 3, 6, 10, len(art) / 2, len(art) - 1} {
+		g := New(Config{})
+		if err := g.Load(bytes.NewReader(art[:n]), decCount); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrBadFormat", n, err)
+		}
+	}
+}
+
+func TestHealthAggregate(t *testing.T) {
+	a := health.Snapshot{SamplesSeen: 10, Rejected: 1, PTraceMax: 2, PFinite: true,
+		ScoreSamples: 10, ScoreMean: 1, ScoreStd: 0, Phase: "monitoring"}
+	b := health.Snapshot{SamplesSeen: 30, Clamped: 2, PTraceMax: 5, PFinite: true,
+		ScoreSamples: 30, ScoreMean: 3, ScoreStd: 0, Phase: "reconstructing"}
+	agg := health.Aggregate([]health.Snapshot{a, b})
+	if agg.SamplesSeen != 40 || agg.Rejected != 1 || agg.Clamped != 2 {
+		t.Fatalf("counter sums: %+v", agg)
+	}
+	if agg.PTraceMax != 5 || !agg.PFinite || agg.Phase != "reconstructing" {
+		t.Fatalf("max/and/phase roll-up: %+v", agg)
+	}
+	// Pooled mean of (10×1, 30×3) is 2.5; pooled variance of two point
+	// masses at 1 and 3 with those weights is 0.75.
+	if agg.ScoreMean != 2.5 {
+		t.Fatalf("pooled mean = %v", agg.ScoreMean)
+	}
+	if d := agg.ScoreStd*agg.ScoreStd - 0.75; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("pooled variance = %v, want 0.75", agg.ScoreStd*agg.ScoreStd)
+	}
+	unhealthy := health.Aggregate([]health.Snapshot{a, {PFinite: false}})
+	if unhealthy.Healthy() {
+		t.Fatal("one non-finite member must make the aggregate unhealthy")
+	}
+	idle := health.Aggregate(nil)
+	if !idle.Healthy() || idle.Phase != "monitoring" {
+		t.Fatalf("empty aggregate: %+v", idle)
+	}
+}

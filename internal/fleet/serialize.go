@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"edgedrift/internal/ckpt"
+	"edgedrift/internal/core"
+)
+
+// fleetMagicV1 identifies a serialised fleet container (FLEET1): the
+// magic, a member count, then each member as (ID, length-prefixed
+// payload) in sorted-ID order. Every member payload is written through
+// its own nested ckpt.Writer and carries its own CRC32 footer, and the
+// whole container — member footers included — is covered by one outer
+// footer. A flipped bit therefore fails twice: once at the damaged
+// member, once at the container level, and the member ID in the error
+// says which stream's state is unusable.
+var fleetMagicV1 = [6]byte{'F', 'L', 'E', 'E', 'T', '1'}
+
+// ErrBadFormat reports a stream that is not a serialised fleet of a
+// known version, or one that is truncated or corrupt.
+var ErrBadFormat = errors.New("fleet: not a serialised fleet (or corrupt artifact)")
+
+// Sanity bounds so a corrupt header fails as ErrBadFormat instead of
+// demanding an absurd allocation.
+const (
+	maxLoadMembers = 1 << 20
+	maxLoadIDLen   = 1 << 12
+)
+
+// EncodeFunc serialises one member's stage. The fleet container is
+// generic over the member type, so the caller supplies the encoding —
+// the public Fleet wrapper passes Monitor.Save.
+type EncodeFunc func(id string, s core.Streaming, w io.Writer) error
+
+// DecodeFunc reconstructs one member's stage from its payload. The
+// reader is exactly the member's payload; reading past it fails.
+type DecodeFunc func(id string, r io.Reader) (core.Streaming, error)
+
+// Save serialises the whole fleet to w in sorted-ID order (so identical
+// fleets produce identical bytes). Each member is encoded while holding
+// only that member's lock; streams are momentarily unblocked between
+// members, so a snapshot taken under load is per-member consistent —
+// every member's state is from a sample boundary — rather than a
+// whole-fleet stop-the-world cut.
+func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
+	ids := f.IDs()
+	cw := ckpt.NewWriter(w)
+	if _, err := cw.Write(fleetMagicV1[:]); err != nil {
+		return err
+	}
+	if err := putU32(cw, uint32(len(ids))); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for _, id := range ids {
+		buf.Reset()
+		inner := ckpt.NewWriter(&buf)
+		err := f.Do(id, func(s core.Streaming) error { return enc(id, s, inner) })
+		if err != nil {
+			return fmt.Errorf("fleet: save %q: %w", id, err)
+		}
+		if err := inner.WriteFooter(); err != nil {
+			return fmt.Errorf("fleet: save %q: %w", id, err)
+		}
+		if err := putU32(cw, uint32(len(id))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(cw, id); err != nil {
+			return err
+		}
+		if err := putU64(cw, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := cw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return cw.WriteFooter()
+}
+
+// Load reads a fleet container written by Save and registers every
+// member into f via Add (typically f is fresh and empty; a duplicate ID
+// fails). Any corruption — container or member level — fails with an
+// error matching ErrBadFormat, naming the damaged member when one can
+// be identified.
+func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
+	var got [6]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return badFormat(fmt.Errorf("load header: %w", err))
+	}
+	if got != fleetMagicV1 {
+		return ErrBadFormat
+	}
+	cr := ckpt.NewReader(r)
+	cr.Fold(got[:])
+	count, err := getU32(cr)
+	if err != nil {
+		return badFormat(err)
+	}
+	if count > maxLoadMembers {
+		return badFormat(fmt.Errorf("implausible member count %d", count))
+	}
+	for i := uint32(0); i < count; i++ {
+		idLen, err := getU32(cr)
+		if err != nil {
+			return badFormat(err)
+		}
+		if idLen == 0 || idLen > maxLoadIDLen {
+			return badFormat(fmt.Errorf("implausible ID length %d", idLen))
+		}
+		idBytes := make([]byte, idLen)
+		if _, err := io.ReadFull(cr, idBytes); err != nil {
+			return badFormat(err)
+		}
+		id := string(idBytes)
+		plen, err := getU64(cr)
+		if err != nil {
+			return badFormat(fmt.Errorf("member %q: %w", id, err))
+		}
+		lim := &io.LimitedReader{R: cr, N: int64(plen)}
+		inner := ckpt.NewReader(lim)
+		s, err := dec(id, inner)
+		if err != nil {
+			return badFormat(fmt.Errorf("member %q: %w", id, err))
+		}
+		if err := inner.VerifyFooter(); err != nil {
+			return badFormat(fmt.Errorf("member %q: %w", id, err))
+		}
+		if lim.N != 0 {
+			return badFormat(fmt.Errorf("member %q: %d payload bytes left unconsumed", id, lim.N))
+		}
+		if err := f.Add(id, s); err != nil {
+			return err
+		}
+	}
+	if err := cr.VerifyFooter(); err != nil {
+		return badFormat(err)
+	}
+	return nil
+}
+
+// SaveFile atomically writes the fleet artifact to path (temp file,
+// sync, rename — the same crash-safety contract as Monitor.SaveFile).
+func (f *Fleet) SaveFile(path string, enc EncodeFunc) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: save %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := f.Save(tmp, enc); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a fleet artifact written by SaveFile into f.
+func (f *Fleet) LoadFile(path string, dec DecodeFunc) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("fleet: load %s: %w", path, err)
+	}
+	defer fh.Close()
+	if err := f.Load(fh, dec); err != nil {
+		return fmt.Errorf("%w (%s)", err, path)
+	}
+	return nil
+}
+
+// badFormat wraps a load failure so it matches both ErrBadFormat and
+// the underlying cause (including ckpt.ErrChecksum).
+func badFormat(err error) error {
+	if errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	return fmt.Errorf("fleet: corrupt artifact: %w: %w", ErrBadFormat, err)
+}
+
+func putU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func getU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func putU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func getU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

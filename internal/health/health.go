@@ -9,6 +9,7 @@ package health
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -60,6 +61,61 @@ type Snapshot struct {
 // does.
 func (s Snapshot) Healthy() bool {
 	return s.PFinite
+}
+
+// phaseRank orders phase strings by operational urgency, so an
+// aggregate can report the "most active" phase across members.
+func phaseRank(p string) int {
+	switch p {
+	case "reconstructing":
+		return 2
+	case "checking":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Aggregate rolls per-member snapshots up into one fleet-level snapshot:
+// counters sum, PTraceMax takes the member maximum, PFinite is the
+// conjunction (one diverged member makes the fleet unhealthy), and the
+// score summary pools the member distributions weighted by their sample
+// counts (pooled mean, and pooled variance via E[x²] − E[x]²). Phase is
+// the most operationally active member phase — reconstructing over
+// checking over monitoring — so a dashboard polling the aggregate sees
+// that *something* in the fleet is mid-adaptation. An empty member list
+// aggregates to a healthy idle snapshot.
+func Aggregate(members []Snapshot) Snapshot {
+	agg := Snapshot{PFinite: true, Phase: "monitoring"}
+	var sumMean, sumSq float64
+	for _, s := range members {
+		agg.SamplesSeen += s.SamplesSeen
+		agg.Rejected += s.Rejected
+		agg.Clamped += s.Clamped
+		agg.ModelDivergences += s.ModelDivergences
+		agg.WatchdogResets += s.WatchdogResets
+		if s.PTraceMax > agg.PTraceMax {
+			agg.PTraceMax = s.PTraceMax
+		}
+		agg.PFinite = agg.PFinite && s.PFinite
+		n := float64(s.ScoreSamples)
+		agg.ScoreSamples += s.ScoreSamples
+		sumMean += n * s.ScoreMean
+		sumSq += n * (s.ScoreStd*s.ScoreStd + s.ScoreMean*s.ScoreMean)
+		agg.ScoreHistDropped += s.ScoreHistDropped
+		agg.ScoreHistTotal += s.ScoreHistTotal
+		if phaseRank(s.Phase) > phaseRank(agg.Phase) {
+			agg.Phase = s.Phase
+		}
+	}
+	if agg.ScoreSamples > 0 {
+		n := float64(agg.ScoreSamples)
+		agg.ScoreMean = sumMean / n
+		if v := sumSq/n - agg.ScoreMean*agg.ScoreMean; v > 0 {
+			agg.ScoreStd = math.Sqrt(v)
+		}
+	}
+	return agg
 }
 
 // String renders the snapshot as a compact single-line summary, suitable

@@ -173,15 +173,21 @@ func TestLoadMonitorV1Compat(t *testing.T) {
 	if err := mon.det.SaveState(&db); err != nil {
 		t.Fatal(err)
 	}
-	toV1 := func(b []byte) []byte {
+	toV1 := func(b []byte, version byte) []byte {
 		out := append([]byte(nil), b[:len(b)-4]...)
-		if out[5] != '2' {
+		if out[5] != version {
 			t.Fatalf("unexpected version byte %q", out[5])
 		}
 		out[5] = '1'
 		return out
 	}
-	legacy := append(toV1(mb.Bytes()), toV1(db.Bytes())...)
+	// The v3 detector payload carries the two pinned-threshold floats
+	// right after the fixed header (6-byte magic + 13 u32 + 6 f64); the
+	// v1 layout predates them.
+	det := toV1(db.Bytes(), '3')
+	const pinsAt = 6 + 13*4 + 6*8
+	det = append(det[:pinsAt], det[pinsAt+16:]...)
+	legacy := append(toV1(mb.Bytes(), '2'), det...)
 	got, err := LoadMonitor(bytes.NewReader(legacy))
 	if err != nil {
 		t.Fatalf("v1 monitor artifact failed to load: %v", err)
@@ -197,6 +203,42 @@ func TestLoadMonitorV1Compat(t *testing.T) {
 		if a.Label != b.Label || a.DriftDetected != b.DriftDetected {
 			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
 		}
+	}
+}
+
+// TestSaveLoadContinuesAcrossReconstruction locks the full round-trip
+// contract: a loaded monitor must stay bit-identical to the original
+// through a drift detection AND the reconstruction that follows. The
+// pre-v3 detector format dropped the calibrated θ_error pin, so the
+// loaded copy re-derived its threshold after reconstruction while the
+// original held the pin — a silent divergence exactly this deep into
+// the stream.
+func TestSaveLoadContinuesAcrossReconstruction(t *testing.T) {
+	mon, stream := newFit(t, defaultOpts(), 42)
+	for i := 0; i < 500; i++ {
+		mon.Process(stream.X[i])
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf, Float64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMonitor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 500; i < len(stream.X); i++ {
+		a, b := mon.Process(stream.X[i]), got.Process(stream.X[i])
+		if a != b {
+			t.Fatalf("loaded monitor diverges at sample %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if mon.Reconstructions() == 0 {
+		t.Fatal("stream never triggered a reconstruction; the test lost its teeth")
+	}
+	te1, td1 := mon.Thresholds()
+	te2, td2 := got.Thresholds()
+	if te1 != te2 || td1 != td2 {
+		t.Fatalf("post-reconstruction thresholds (%v,%v) vs (%v,%v)", te1, td1, te2, td2)
 	}
 }
 
