@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-fleet fuzz-smoke check
+.PHONY: build test vet staticcheck race bench bench-kernels bench-fleet fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Deeper static analysis. Gated on the binary being installed so the
+# gate still runs on boxes without it (CI installs it explicitly):
+# `go install honnef.co/go/tools/cmd/staticcheck@latest`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # The packages with concurrency: parallel multi-instance scoring (model),
 # the experiment worker pool (eval), and the sharded multi-stream fleet.
@@ -43,4 +53,4 @@ fuzz-smoke:
 # The full pre-merge gate: tier-1 plus static analysis, the race
 # detector over the concurrent packages, and a fuzz smoke over the
 # artifact loaders.
-check: build vet test race fuzz-smoke
+check: build vet staticcheck test race fuzz-smoke

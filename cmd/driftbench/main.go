@@ -9,6 +9,7 @@
 //	driftbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	driftbench -list                  # show the experiment registry
 //	driftbench fleet -streams 64      # multi-stream fleet throughput
+//	driftbench serve -addr :9100      # replay streams, serve /metrics + /health
 package main
 
 import (
@@ -31,6 +32,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		os.Exit(runFleet(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
 	}
 	os.Exit(run())
 }

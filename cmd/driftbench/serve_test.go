@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/synth"
+	"edgedrift/internal/rng"
+)
+
+// tinyServeFleet builds a small instrumented fleet on synthetic
+// Gaussian data — fast enough for a unit test, drifted enough that the
+// trace endpoint has something to show.
+func tinyServeFleet(t *testing.T) *edgedrift.Fleet {
+	t.Helper()
+	oldC := synth.NewGaussian([][]float64{{0, 0, 0}, {5, 5, 5}}, 0.3)
+	newC := synth.ShiftedGaussian(oldC, 4)
+	r := rng.New(7)
+	trainX, trainY := synth.TrainingSet(oldC, 300, r)
+	st, err := synth.Generate(oldC, newC, 2000, synth.Spec{Kind: synth.Sudden, Start: 500}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := edgedrift.NewFleet(edgedrift.FleetConfig{Instrument: true, SampleEvery: 16, TraceDepth: 8})
+	for _, id := range []string{"a", "b"} {
+		mon, err := edgedrift.New(edgedrift.Options{
+			Classes: 2, Inputs: 3, Hidden: 8, Window: 50, NRecon: 300, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Fit(trainX, trainY); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Add(id, mon); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ProcessBatch(id, st.X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestServeEndpoints exercises the serve mux end to end over HTTP:
+// /metrics speaks Prometheus text, /health reports JSON with the right
+// status code, /trace returns the per-stream drift rings.
+func TestServeEndpoints(t *testing.T) {
+	f := tinyServeFleet(t)
+	srv := httptest.NewServer(newServeMux(f))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"edgedrift_samples_total 4000",
+		`edgedrift_stream_drifts_total{stream="a"}`,
+		"# TYPE edgedrift_process_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, ctype, body = get("/health")
+	if code != http.StatusOK {
+		t.Fatalf("/health status = %d (body %s)", code, body)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/health content type = %q", ctype)
+	}
+	var h struct {
+		Healthy     bool
+		Summary     string
+		SamplesSeen int
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/health is not JSON: %v", err)
+	}
+	if !h.Healthy || h.SamplesSeen != 4000 || !strings.Contains(h.Summary, "phase=") {
+		t.Fatalf("/health payload = %+v", h)
+	}
+
+	code, _, body = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var traces map[string][]edgedrift.TraceEvent
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if len(traces["a"]) == 0 || len(traces["b"]) == 0 {
+		t.Fatalf("trace rings empty after a drifted replay: %v", traces)
+	}
+	for _, ev := range traces["a"] {
+		if ev.StreamID != "a" || ev.ThetaError <= 0 {
+			t.Fatalf("trace event %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package edgedrift
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"edgedrift/internal/metrics"
+)
+
+// WriteMetrics renders the fleet's metrics and health roll-up in the
+// Prometheus text exposition format (0.0.4): whole-fleet totals, the
+// health-snapshot counters and gauges, and a per-stream breakdown
+// labelled by stream ID. Instrumented fleets (FleetConfig.Instrument)
+// additionally expose per-stream phase counters and the sampled
+// process-latency histogram in seconds.
+//
+// Exposition runs on the scrape path: each member is visited briefly
+// under its own lock, never stalling the whole fleet, and the output is
+// deterministic (streams sorted by ID) so scrapes diff cleanly.
+func (f *Fleet) WriteMetrics(w io.Writer) error {
+	m := f.Metrics()
+	h := f.Health()
+	tw := metrics.NewTextWriter(w)
+
+	tw.Gauge("edgedrift_streams", "Registered member streams.", nil, float64(m.Streams))
+	tw.Counter("edgedrift_samples_total", "Samples processed across all streams.", nil, m.Samples)
+	tw.Counter("edgedrift_drifts_total", "Drift detections across all streams.", nil, m.Drifts)
+	tw.Counter("edgedrift_events_dropped_total", "Drift events dropped on a full subscriber buffer.", nil, m.EventsDropped)
+	tw.Gauge("edgedrift_memory_bytes", "Retained state of the whole fleet (registry overhead included).", nil, float64(m.MemoryBytes))
+
+	// Health roll-up: the same numbers Snapshot.String() logs, scrapable.
+	tw.Counter("edgedrift_rejected_total", "Samples refused by the ingestion guard.", nil, h.Rejected)
+	tw.Counter("edgedrift_clamped_total", "Samples repaired by the ingestion guard.", nil, h.Clamped)
+	tw.Counter("edgedrift_model_divergences_total", "Non-finite scores on finite input (model divergence rebuilds).", nil, h.ModelDivergences)
+	tw.Counter("edgedrift_watchdog_resets_total", "RLS watchdog P-matrix re-initialisations.", nil, h.WatchdogResets)
+	healthy := 0.0
+	if h.Healthy() {
+		healthy = 1
+	}
+	tw.Gauge("edgedrift_healthy", "1 when every member's model state is finite.", nil, healthy)
+	tw.Gauge("edgedrift_ptrace_max", "Largest tr(P) across model instances.", nil, h.PTraceMax)
+	tw.Gauge("edgedrift_score_mean", "Pooled mean of monitoring anomaly scores.", nil, h.ScoreMean)
+	tw.Gauge("edgedrift_score_std", "Pooled standard deviation of monitoring anomaly scores.", nil, h.ScoreStd)
+
+	ids := make([]string, 0, len(m.PerStream))
+	for id := range m.PerStream {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sm := m.PerStream[id]
+		labels := []metrics.Label{{Name: "stream", Value: id}}
+		tw.Counter("edgedrift_stream_samples_total", "Samples processed per stream.", labels, sm.Samples)
+		tw.Counter("edgedrift_stream_drifts_total", "Drift detections per stream.", labels, sm.Drifts)
+		if sm.Stage == nil {
+			continue
+		}
+		tw.Counter("edgedrift_stream_rejected_total", "Guard rejections observed per stream.", labels, sm.Stage.Rejected)
+		tw.Counter("edgedrift_stream_phase_transitions_total", "Detector phase transitions per stream.", labels, sm.Stage.PhaseTransitions)
+		for p, n := range sm.Stage.PhaseSamples {
+			tw.Counter("edgedrift_stream_phase_samples_total", "Samples per detector phase per stream.",
+				[]metrics.Label{{Name: "stream", Value: id}, {Name: "phase", Value: Phase(p).String()}}, n)
+		}
+		if sm.Stage.Latency.Count > 0 {
+			tw.Histogram("edgedrift_process_latency_seconds", "Sampled per-sample process latency.", labels, sm.Stage.Latency, 1e-9)
+		}
+	}
+	return tw.Err()
+}
+
+// expvarPublished guards against the panic expvar.Publish raises on a
+// duplicate name, turning re-registration into an error.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar registers the fleet's metrics roll-up under name in the
+// process-wide expvar registry, so the standard /debug/vars endpoint
+// (or any expvar consumer) sees a JSON rendering of Fleet.Metrics.
+// Publishing the same name twice returns an error; expvar offers no
+// unregistration, so the variable lives until process exit and keeps
+// reading from this fleet.
+func (f *Fleet) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return fmt.Errorf("edgedrift: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return f.Metrics() }))
+	expvarPublished[name] = true
+	return nil
+}
+
+// StartHealthLogger renders a health snapshot through logf on a fixed
+// cadence — the periodic structured health log for months-long
+// unattended deployments. snap is polled at each tick (pass
+// fleet.Health or monitor.Health); logf receives the single-line
+// Snapshot.String() rendering. The returned stop function halts the
+// logger and is safe to call more than once.
+func StartHealthLogger(every time.Duration, snap func() HealthSnapshot, logf func(line string)) (stop func()) {
+	if every <= 0 {
+		panic("edgedrift: StartHealthLogger needs a positive interval")
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				logf(snap().String())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -18,6 +18,20 @@ type FleetConfig = fleet.Config
 // onto the fleet's single subscriber channel (see Fleet.Events).
 type FleetEvent = fleet.Event
 
+// FleetMetrics is the fleet-level metrics roll-up (see Fleet.Metrics).
+type FleetMetrics = fleet.Metrics
+
+// StreamMetrics is one stream's contribution to the fleet roll-up.
+type StreamMetrics = fleet.StreamMetrics
+
+// StageMetrics is an instrumented stage's counter snapshot.
+type StageMetrics = core.StageMetrics
+
+// TraceEvent is one retained drift detection in an instrumented
+// stream's bounded trace ring: stream ID, sample index, score and the
+// θ_error in force at detection time.
+type TraceEvent = core.TraceEvent
+
 // Fleet monitors many independent streams at once: a sharded,
 // multi-tenant registry of Monitors keyed by stream ID. A Monitor alone
 // is the single-stream special case — one state machine, one goroutine;
@@ -47,8 +61,11 @@ func (f *Fleet) Add(id string, mon *Monitor) error {
 	return f.f.Add(id, mon)
 }
 
-// Remove deregisters a stream, reporting whether it existed.
-func (f *Fleet) Remove(id string) bool { return f.f.Remove(id) }
+// Remove deregisters a stream, reporting whether it existed and, when
+// it did, the stream's final lifetime sample and drift counts. Remove
+// waits out any batch mid-flight on the member before returning, so a
+// removed stream can never emit another drift event.
+func (f *Fleet) Remove(id string) (samples, drifts uint64, ok bool) { return f.f.Remove(id) }
 
 // Len returns the registered stream count.
 func (f *Fleet) Len() int { return f.f.Len() }
@@ -99,14 +116,41 @@ func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
 	return f.f.MemberStats(id)
 }
 
+// Metrics rolls every member's counters up into one fleet-level
+// snapshot — whole-fleet sample/drift totals, dropped-event count, the
+// memory audit and the per-stream breakdown. With FleetConfig.Instrument
+// set, each stream also carries its stage instrumentation (phase
+// transitions, sampled latency histogram).
+func (f *Fleet) Metrics() FleetMetrics { return f.f.Metrics() }
+
+// Traces returns each instrumented stream's retained drift trace (the
+// last TraceDepth detections), keyed by stream ID. Empty unless the
+// fleet was built with FleetConfig.Instrument.
+func (f *Fleet) Traces() map[string][]TraceEvent { return f.f.Traces() }
+
 // MemoryBytes audits the whole fleet's retained state.
 func (f *Fleet) MemoryBytes() int { return f.f.MemoryBytes() }
+
+// asMonitor recovers the Monitor inside a member stage, seeing through
+// the Instrumented wrapper an instrumented fleet adds at registration.
+func asMonitor(s core.Streaming) (*Monitor, bool) {
+	for {
+		if mon, ok := s.(*Monitor); ok {
+			return mon, true
+		}
+		in, ok := s.(*core.Instrumented)
+		if !ok {
+			return nil, false
+		}
+		s = in.Inner()
+	}
+}
 
 // Do runs fn against one member while holding that member's lock — the
 // safe way to inspect a single stream while the fleet keeps processing.
 func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
 	return f.f.Do(id, func(s core.Streaming) error {
-		mon, ok := s.(*Monitor)
+		mon, ok := asMonitor(s)
 		if !ok {
 			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
 		}
@@ -120,7 +164,7 @@ func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
 // Corruption fails loudly at load, naming the damaged member.
 func (f *Fleet) Save(w io.Writer, prec Precision) error {
 	return f.f.Save(w, func(id string, s core.Streaming, w io.Writer) error {
-		mon, ok := s.(*Monitor)
+		mon, ok := asMonitor(s)
 		if !ok {
 			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
 		}
@@ -132,7 +176,7 @@ func (f *Fleet) Save(w io.Writer, prec Precision) error {
 // sync, rename — the same crash-safety contract as Monitor.SaveFile).
 func (f *Fleet) SaveFile(path string, prec Precision) error {
 	return f.f.SaveFile(path, func(id string, s core.Streaming, w io.Writer) error {
-		mon, ok := s.(*Monitor)
+		mon, ok := asMonitor(s)
 		if !ok {
 			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
 		}

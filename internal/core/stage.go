@@ -147,11 +147,13 @@ func (g *Guard) MemoryBytes() int {
 }
 
 // Health returns the wrapped stage's snapshot with the guard's own
-// ingestion counters stamped in.
+// ingestion counters added in. Added, not assigned: stages compose by
+// wrapping, and a guard around a guard must accumulate both layers'
+// counts instead of clobbering whatever the inner stage reported.
 func (g *Guard) Health() health.Snapshot {
 	s := g.inner.Health()
-	s.Rejected = g.rejected
-	s.Clamped = g.clamped
+	s.Rejected += g.rejected
+	s.Clamped += g.clamped
 	return s
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/health"
+)
+
+// echoStage is a minimal Streaming stage for composition tests: it
+// scores each sample by its first feature and stays in Monitoring.
+type echoStage struct{ n int }
+
+func (e *echoStage) Process(x []float64) Result {
+	e.n++
+	return Result{Score: x[0], Phase: Monitoring}
+}
+
+func (e *echoStage) MemoryBytes() int { return 8 }
+
+func (e *echoStage) Health() health.Snapshot {
+	return health.Snapshot{SamplesSeen: e.n, PFinite: true, Phase: "monitoring"}
+}
+
+// TestGuardNestedHealthCounters locks the stage-composition contract:
+// stages compose by wrapping, so a guard around a guard must report the
+// sum of both guards' ingestion counters, not clobber the inner one's.
+func TestGuardNestedHealthCounters(t *testing.T) {
+	nan := []float64{math.NaN()}
+
+	inner := NewGuard(&echoStage{}, GuardReject, 0)
+	inner.Process(nan)            // rejected by the inner guard directly
+	inner.Process([]float64{1})   // accepted
+	if got := inner.Health().Rejected; got != 1 {
+		t.Fatalf("inner guard rejected = %d, want 1", got)
+	}
+
+	outer := NewGuard(inner, GuardReject, 0)
+	outer.Process(nan) // rejected by the outer guard; inner never sees it
+	s := outer.Health()
+	if got := s.Rejected; got != 2 {
+		t.Fatalf("nested guard Health().Rejected = %d, want 2 (outer must add to the inner count, not overwrite it)", got)
+	}
+
+	// Same contract for the clamp counter.
+	ci := NewGuard(&echoStage{}, GuardClamp, 0)
+	ci.Process(nan) // clamped by the inner guard
+	co := NewGuard(ci, GuardClamp, 0)
+	co.Process(nan) // clamped by the outer guard; inner receives the repaired copy
+	if got := co.Health().Clamped; got != 2 {
+		t.Fatalf("nested guard Health().Clamped = %d, want 2", got)
+	}
+}

@@ -49,6 +49,17 @@ type Config struct {
 	// Events beyond a full buffer are dropped (and counted) rather than
 	// blocking the processing hot path on a slow subscriber.
 	EventBuffer int
+	// Instrument wraps every member in a core.Instrumented stage at Add
+	// time, enabling per-stream counters, the drift-event trace ring and
+	// (with SampleEvery > 0) sampled latency timing. Off by default: an
+	// uninstrumented fleet adds nothing to the per-sample hot path.
+	Instrument bool
+	// SampleEvery is the latency-timing period for instrumented members
+	// (time one Process call in every SampleEvery). 0 disables timing;
+	// counters and traces stay on whenever Instrument is set.
+	SampleEvery int
+	// TraceDepth bounds each member's drift-trace ring; 0 means 64.
+	TraceDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,12 +76,21 @@ func (c Config) withDefaults() Config {
 }
 
 // member is one registered stream: its stage, the lock serialising it,
-// and its lifetime counters.
+// and its lifetime counters. removed (guarded by mu) marks a member
+// whose Remove has completed, so a caller that looked the member up
+// before removal and then won the lock afterwards cannot process
+// samples on a ghost stream.
 type member struct {
-	mu      sync.Mutex
-	stage   core.Streaming
+	mu    sync.Mutex
+	stage core.Streaming
+	// instr aliases stage when the fleet wrapped it at Add: the batch
+	// loop calls the wrapper through this concrete pointer (a static
+	// call target) instead of re-dispatching through the interface, so
+	// instrumentation costs one direct call, not a second virtual one.
+	instr   *core.Instrumented
 	samples uint64
 	drifts  uint64
+	removed bool
 }
 
 // shard is one slice of the registry.
@@ -126,26 +146,51 @@ func (f *Fleet) Add(id string, s core.Streaming) error {
 	if s == nil {
 		return fmt.Errorf("fleet: stream %q: nil stage", id)
 	}
+	mb := &member{stage: s}
+	if f.cfg.Instrument {
+		mb.instr = core.NewInstrumented(s, core.InstrumentConfig{
+			StreamID:    id,
+			SampleEvery: f.cfg.SampleEvery,
+			TraceDepth:  f.cfg.TraceDepth,
+		})
+		mb.stage = mb.instr
+	}
 	sh := f.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.members[id]; ok {
 		return fmt.Errorf("fleet: stream %q already registered", id)
 	}
-	sh.members[id] = &member{stage: s}
+	sh.members[id] = mb
 	return nil
 }
 
-// Remove deregisters a stream, reporting whether it existed.
-func (f *Fleet) Remove(id string) bool {
+// Remove deregisters a stream, reporting whether it existed and, when
+// it did, the member's final lifetime sample and drift counts. Remove
+// acquires the member's own lock before returning, so any batch that
+// was mid-flight on the member has fully completed — results delivered,
+// drift events emitted, counters settled — by the time Remove returns;
+// a "removed" stream can never emit another event. Callers that raced a
+// lookup against Remove and win the member lock afterwards see the
+// removed mark and fail with an unknown-stream error.
+func (f *Fleet) Remove(id string) (samples, drifts uint64, ok bool) {
 	sh := f.shardOf(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.members[id]; !ok {
-		return false
+	m, found := sh.members[id]
+	if !found {
+		sh.mu.Unlock()
+		return 0, 0, false
 	}
 	delete(sh.members, id)
-	return true
+	sh.mu.Unlock()
+
+	// Wait out any in-flight batch, then seal the member. The shard lock
+	// is already released: a long batch must not block Add/Remove of the
+	// shard's other streams.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removed = true
+	return m.samples, m.drifts, true
 }
 
 // Len returns the registered stream count.
@@ -203,8 +248,16 @@ func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) (
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.removed {
+		return dst, fmt.Errorf("fleet: unknown stream %q", id)
+	}
 	for _, x := range xs {
-		r := m.stage.Process(x)
+		var r core.Result
+		if m.instr != nil {
+			r = m.instr.Process(x)
+		} else {
+			r = m.stage.Process(x)
+		}
 		idx := m.samples
 		m.samples++
 		if r.DriftDetected {
@@ -285,6 +338,9 @@ func (f *Fleet) Do(id string, fn func(core.Streaming) error) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.removed {
+		return fmt.Errorf("fleet: unknown stream %q", id)
+	}
 	return fn(m.stage)
 }
 
@@ -296,6 +352,9 @@ func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.removed {
+		return 0, 0, fmt.Errorf("fleet: unknown stream %q", id)
+	}
 	return m.samples, m.drifts, nil
 }
 
@@ -312,6 +371,73 @@ func (f *Fleet) Health() health.Snapshot {
 	return health.Aggregate(snaps)
 }
 
+// StreamMetrics is one member's contribution to the fleet roll-up.
+type StreamMetrics struct {
+	// Samples and Drifts are the fleet's lifetime counters for the
+	// member (identical to MemberStats).
+	Samples uint64
+	Drifts  uint64
+	// Stage carries the member's instrumentation snapshot when the fleet
+	// was built with Config.Instrument; nil otherwise.
+	Stage *core.StageMetrics
+}
+
+// Metrics is the fleet-level metrics roll-up: whole-fleet totals plus
+// the per-stream breakdown, the exposition layer's one-stop source.
+type Metrics struct {
+	// Streams is the registered member count.
+	Streams int
+	// Samples and Drifts sum every member's lifetime counters.
+	Samples uint64
+	Drifts  uint64
+	// EventsDropped counts drift events discarded on a full subscriber
+	// buffer.
+	EventsDropped uint64
+	// MemoryBytes is the whole-fleet retained-state audit.
+	MemoryBytes int
+	// PerStream holds each member's counters keyed by stream ID.
+	PerStream map[string]StreamMetrics
+}
+
+// Metrics rolls every member's counters up into one fleet-level
+// snapshot, the counterpart of Health for throughput and event
+// accounting. Each member is visited under its own lock, so a snapshot
+// taken under load is per-member consistent.
+func (f *Fleet) Metrics() Metrics {
+	m := Metrics{PerStream: make(map[string]StreamMetrics, f.Len())}
+	f.eachMember(func(id string, mb *member) {
+		mb.mu.Lock()
+		sm := StreamMetrics{Samples: mb.samples, Drifts: mb.drifts}
+		if mb.instr != nil {
+			stage := mb.instr.Metrics()
+			sm.Stage = &stage
+		}
+		m.MemoryBytes += mb.stage.MemoryBytes() + len(id) + memberOverheadBytes
+		mb.mu.Unlock()
+		m.Streams++
+		m.Samples += sm.Samples
+		m.Drifts += sm.Drifts
+		m.PerStream[id] = sm
+	})
+	m.EventsDropped = f.dropped.Load()
+	return m
+}
+
+// Traces returns each instrumented member's retained drift trace,
+// keyed by stream ID (members without instrumentation are absent).
+// Each ring is read under its member's lock.
+func (f *Fleet) Traces() map[string][]core.TraceEvent {
+	out := map[string][]core.TraceEvent{}
+	f.eachMember(func(id string, mb *member) {
+		mb.mu.Lock()
+		if mb.instr != nil {
+			out[id] = mb.instr.Trace()
+		}
+		mb.mu.Unlock()
+	})
+	return out
+}
+
 // MemberHealth returns each stream's own snapshot, keyed by ID.
 func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 	out := make(map[string]health.Snapshot, f.Len())
@@ -323,13 +449,22 @@ func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 	return out
 }
 
+// memberOverheadBytes is the registry's own cost per member beyond the
+// stage's audit and the ID bytes (charged as len(id)): the member
+// struct (mutex, 16-byte stage interface header, the concrete instr
+// pointer, two uint64 counters, removed mark + padding = 56), the
+// map's *member value (8), and the string header of the map key (16).
+// Pinned to the real layout by an unsafe.Sizeof test so it cannot rot
+// when the struct changes.
+const memberOverheadBytes = 56 + 8 + 16
+
 // MemoryBytes audits the whole fleet's retained state: the sum of every
 // member's audit plus the registry's own per-member overhead.
 func (f *Fleet) MemoryBytes() int {
 	total := 0
 	f.eachMember(func(id string, m *member) {
 		m.mu.Lock()
-		total += m.stage.MemoryBytes() + len(id) + 3*8
+		total += m.stage.MemoryBytes() + len(id) + memberOverheadBytes
 		m.mu.Unlock()
 	})
 	return total

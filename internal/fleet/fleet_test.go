@@ -8,7 +8,10 @@ import (
 	"io"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+	"unsafe"
 
 	"edgedrift/internal/core"
 	"edgedrift/internal/health"
@@ -84,8 +87,11 @@ func TestRegistry(t *testing.T) {
 	if got := f.IDs(); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
 		t.Fatalf("IDs = %v", got)
 	}
-	if !f.Remove("c") || f.Remove("c") {
-		t.Fatal("Remove semantics broken")
+	if _, _, ok := f.Remove("c"); !ok {
+		t.Fatal("Remove of a registered stream reported not found")
+	}
+	if _, _, ok := f.Remove("c"); ok {
+		t.Fatal("second Remove of the same stream reported found")
 	}
 	if _, err := f.ProcessBatch("c", samples(1, 0)); err == nil {
 		t.Fatal("ProcessBatch on removed stream succeeded")
@@ -310,6 +316,261 @@ func TestLoadCorruption(t *testing.T) {
 		if err := g.Load(bytes.NewReader(art[:n]), decCount); !errors.Is(err, ErrBadFormat) {
 			t.Fatalf("truncation to %d bytes: err = %v, want ErrBadFormat", n, err)
 		}
+	}
+}
+
+// blockingStage parks every Process call on a gate so tests can hold a
+// batch mid-flight deterministically.
+type blockingStage struct {
+	gate    chan struct{} // each Process call consumes one token
+	entered chan struct{} // signalled on Process entry
+	n       int
+}
+
+func (b *blockingStage) Process(x []float64) core.Result {
+	b.entered <- struct{}{}
+	<-b.gate
+	b.n++
+	return core.Result{DriftDetected: true, Phase: core.Monitoring}
+}
+
+func (b *blockingStage) MemoryBytes() int { return 8 }
+
+func (b *blockingStage) Health() health.Snapshot {
+	return health.Snapshot{SamplesSeen: b.n, PFinite: true, Phase: "monitoring"}
+}
+
+// TestRemoveWaitsForInFlightBatch locks the removal contract: Remove
+// must not return while a batch is still mid-flight on the removed
+// member, and the final counts it reports must include that batch. The
+// pre-fix Remove took only the shard lock, so a "removed" stream could
+// keep emitting drift events after Remove returned.
+func TestRemoveWaitsForInFlightBatch(t *testing.T) {
+	f := New(Config{})
+	st := &blockingStage{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	if err := f.Add("s", st); err != nil {
+		t.Fatal(err)
+	}
+	ch := f.Subscribe()
+
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := f.ProcessBatch("s", samples(1, 0))
+		batchDone <- err
+	}()
+	<-st.entered // the batch now holds the member lock, parked in Process
+
+	type rm struct {
+		samples, drifts uint64
+		ok              bool
+	}
+	removed := make(chan rm, 1)
+	go func() {
+		s, d, ok := f.Remove("s")
+		removed <- rm{s, d, ok}
+	}()
+
+	select {
+	case <-removed:
+		t.Fatal("Remove returned while a batch was still mid-flight on the removed member")
+	case <-time.After(50 * time.Millisecond):
+		// Remove is (correctly) blocked on the member lock.
+	}
+
+	close(st.gate) // release the in-flight Process call
+	if err := <-batchDone; err != nil {
+		t.Fatal(err)
+	}
+	r := <-removed
+	if !r.ok || r.samples != 1 || r.drifts != 1 {
+		t.Fatalf("Remove final counts = %+v, want samples=1 drifts=1 ok=true", r)
+	}
+	// The in-flight batch's drift event was emitted before Remove
+	// returned — nothing can arrive afterwards.
+	select {
+	case <-ch:
+	default:
+		t.Fatal("drift event from the in-flight batch missing at Remove return")
+	}
+}
+
+// TestRemoveProcessBatchRace hammers Remove against concurrent
+// ProcessBatch calls under the race detector and checks the accounting
+// invariant: the final counts Remove reports equal exactly the samples
+// the racing producers successfully processed — no batch slips through
+// after removal.
+func TestRemoveProcessBatchRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		f := New(Config{Shards: 2})
+		if err := f.Add("s", &countStage{driftEvery: 3}); err != nil {
+			t.Fatal(err)
+		}
+		var processed atomic.Uint64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					rs, err := f.ProcessBatch("s", samples(5, 0))
+					if err != nil {
+						return // stream removed
+					}
+					processed.Add(uint64(len(rs)))
+				}
+			}()
+		}
+		removed := make(chan uint64, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s, _, ok := f.Remove("s")
+			if !ok {
+				t.Error("Remove lost the race it cannot lose")
+			}
+			removed <- s
+		}()
+		close(start)
+		wg.Wait()
+		if got, want := <-removed, processed.Load(); got != want {
+			t.Fatalf("iter %d: Remove reported %d samples, producers processed %d", iter, got, want)
+		}
+	}
+}
+
+// TestMemberOverheadDerivedFromSizeof pins the registry's per-member
+// accounting to the real struct layout so the constant cannot rot: the
+// member struct itself, the map value pointer, and the string-header
+// part of the map key (the key's bytes are charged per member as
+// len(id)).
+func TestMemberOverheadDerivedFromSizeof(t *testing.T) {
+	want := int(unsafe.Sizeof(member{})) +
+		int(unsafe.Sizeof((*member)(nil))) +
+		int(unsafe.Sizeof(""))
+	if memberOverheadBytes != want {
+		t.Fatalf("memberOverheadBytes = %d, want %d (member struct %d + map value pointer %d + string header %d)",
+			memberOverheadBytes, want,
+			unsafe.Sizeof(member{}), unsafe.Sizeof((*member)(nil)), unsafe.Sizeof(""))
+	}
+	f := New(Config{})
+	st := &countStage{}
+	if err := f.Add("stream-00", st); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.MemoryBytes(), st.MemoryBytes()+memberOverheadBytes+len("stream-00"); got != want {
+		t.Fatalf("fleet MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestMetricsRollup(t *testing.T) {
+	f := New(Config{})
+	for i, n := range []int{10, 20, 30} {
+		id := fmt.Sprintf("m%d", i)
+		if err := f.Add(id, &countStage{driftEvery: 10}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ProcessBatch(id, samples(n, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := f.Metrics()
+	if m.Streams != 3 || m.Samples != 60 || m.Drifts != 6 {
+		t.Fatalf("roll-up = %+v, want 3 streams, 60 samples, 6 drifts", m)
+	}
+	if got := m.PerStream["m2"]; got.Samples != 30 || got.Drifts != 3 || got.Stage != nil {
+		t.Fatalf("m2 = %+v, want 30/3 with no stage instrumentation", got)
+	}
+	if m.MemoryBytes != f.MemoryBytes() {
+		t.Fatalf("metrics memory %d != audit %d", m.MemoryBytes, f.MemoryBytes())
+	}
+	if len(f.Traces()) != 0 {
+		t.Fatal("uninstrumented fleet must have no traces")
+	}
+}
+
+// TestInstrumentedFleet locks the opt-in instrumentation path: members
+// wrapped at Add, per-stream stage metrics in the roll-up, and drift
+// traces capped at TraceDepth.
+func TestInstrumentedFleet(t *testing.T) {
+	f := New(Config{Instrument: true, SampleEvery: 4, TraceDepth: 3})
+	if err := f.Add("s", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProcessBatch("s", samples(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m := f.Metrics()
+	sm := m.PerStream["s"]
+	if sm.Stage == nil {
+		t.Fatal("instrumented fleet must expose stage metrics")
+	}
+	if sm.Stage.Samples != 20 || sm.Stage.Drifts != 10 {
+		t.Fatalf("stage metrics = %+v", sm.Stage)
+	}
+	if sm.Stage.Latency.Count != 5 {
+		t.Fatalf("latency sampled %d times, want 5 (every 4th of 20)", sm.Stage.Latency.Count)
+	}
+	tr := f.Traces()["s"]
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d, want cap 3", len(tr))
+	}
+	if tr[2].Index != 19 || tr[2].StreamID != "s" {
+		t.Fatalf("newest trace entry = %+v", tr[2])
+	}
+	// Scheduling results are identical to an uninstrumented stage.
+	ref := &countStage{driftEvery: 2}
+	var want []core.Result
+	for _, x := range samples(20, 0) {
+		want = append(want, ref.Process(x))
+	}
+	g := New(Config{Instrument: true})
+	if err := g.Add("s", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ProcessBatch("s", samples(20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("instrumented fleet results differ from direct stage results")
+	}
+}
+
+// TestFleetMetricsConcurrentScrape drives an instrumented member while
+// another goroutine scrapes Metrics and Traces — the supported
+// concurrent-read path, serialised by the member lock (the stage's own
+// counters are plain single-writer fields). Run under -race.
+func TestFleetMetricsConcurrentScrape(t *testing.T) {
+	f := New(Config{Instrument: true, SampleEvery: 2, TraceDepth: 8})
+	if err := f.Add("s", &countStage{driftEvery: 7}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if _, err := f.ProcessBatch("s", samples(10, 0)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		m := f.Metrics()
+		sm := m.PerStream["s"]
+		if sm.Drifts > sm.Samples || (sm.Stage != nil && sm.Stage.Samples != sm.Samples) {
+			t.Errorf("scrape inconsistent: %+v / %+v", sm, sm.Stage)
+			break
+		}
+		f.Traces()
+	}
+	<-done
+	m := f.Metrics()
+	if sm := m.PerStream["s"]; sm.Samples != 5000 || sm.Stage.Drifts != 5000/7 {
+		t.Fatalf("final metrics = %+v / %+v", sm, sm.Stage)
 	}
 }
 

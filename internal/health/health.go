@@ -111,7 +111,12 @@ func Aggregate(members []Snapshot) Snapshot {
 	if agg.ScoreSamples > 0 {
 		n := float64(agg.ScoreSamples)
 		agg.ScoreMean = sumMean / n
-		if v := sumSq/n - agg.ScoreMean*agg.ScoreMean; v > 0 {
+		// E[x²]−E[x]² cancels catastrophically when the pool's variance is
+		// (near) zero: rounding can leave a tiny residual of either sign.
+		// Treat anything below the cancellation noise floor of the E[x²]
+		// term as exactly zero so zero-variance members pool to ScoreStd 0.
+		meanSq := sumSq / n
+		if v := meanSq - agg.ScoreMean*agg.ScoreMean; v > meanSq*1e-12 {
 			agg.ScoreStd = math.Sqrt(v)
 		}
 	}

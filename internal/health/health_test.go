@@ -16,6 +16,70 @@ func TestHealthy(t *testing.T) {
 	}
 }
 
+// TestAggregateSingleMemberRoundTrip locks the degenerate roll-up: one
+// member aggregates to exactly itself (values chosen so the pooled
+// E[x²]−E[x]² variance path is float-exact).
+func TestAggregateSingleMemberRoundTrip(t *testing.T) {
+	s := Snapshot{
+		SamplesSeen: 42, Rejected: 3, Clamped: 1, ModelDivergences: 2,
+		WatchdogResets: 4, PTraceMax: 1.5, PFinite: true,
+		ScoreSamples: 40, ScoreMean: 2, ScoreStd: 3,
+		ScoreHistDropped: 1, ScoreHistTotal: 39, Phase: "checking",
+	}
+	if got := Aggregate([]Snapshot{s}); got != s {
+		t.Fatalf("single-member aggregate:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+// TestAggregateZeroVariance locks the v > 0 guard: members that agree
+// on a constant score pool to ScoreStd exactly 0, even when floating-
+// point cancellation makes the pooled variance a tiny negative number.
+func TestAggregateZeroVariance(t *testing.T) {
+	members := []Snapshot{
+		{ScoreSamples: 100, ScoreMean: 0.3, ScoreStd: 0, PFinite: true},
+		{ScoreSamples: 300, ScoreMean: 0.3, ScoreStd: 0, PFinite: true},
+		{ScoreSamples: 7, ScoreMean: 0.3, ScoreStd: 0, PFinite: true},
+	}
+	agg := Aggregate(members)
+	if agg.ScoreMean != 0.3 && !(agg.ScoreMean > 0.2999999 && agg.ScoreMean < 0.3000001) {
+		t.Fatalf("pooled mean = %v", agg.ScoreMean)
+	}
+	if agg.ScoreStd != 0 {
+		t.Fatalf("zero-variance members pooled to ScoreStd %v, want exactly 0", agg.ScoreStd)
+	}
+}
+
+// TestAggregateIgnoresScorelessMembers locks the weighting: a member
+// with ScoreSamples == 0 contributes nothing to the pooled moments, no
+// matter what its (meaningless) ScoreMean/ScoreStd fields hold.
+func TestAggregateIgnoresScorelessMembers(t *testing.T) {
+	members := []Snapshot{
+		{ScoreSamples: 10, ScoreMean: 2, ScoreStd: 0, PFinite: true},
+		{ScoreSamples: 0, ScoreMean: 1e9, ScoreStd: 1e9, PFinite: true}, // freshly added, never scored
+	}
+	agg := Aggregate(members)
+	if agg.ScoreSamples != 10 || agg.ScoreMean != 2 || agg.ScoreStd != 0 {
+		t.Fatalf("scoreless member skewed the pool: %+v", agg)
+	}
+}
+
+// TestSnapshotStringGolden pins the exact operational log line — the
+// format scraped by log pipelines, changed only deliberately.
+func TestSnapshotStringGolden(t *testing.T) {
+	s := Snapshot{
+		SamplesSeen: 1234, Rejected: 5, Clamped: 2, ModelDivergences: 1,
+		WatchdogResets: 3, PTraceMax: 0.5125, PFinite: true,
+		ScoreSamples: 1200, ScoreMean: 0.25, ScoreStd: 0.125,
+		ScoreHistDropped: 1, ScoreHistTotal: 1199, Phase: "monitoring",
+	}
+	want := "health: phase=monitoring samples=1234 rejected=5 clamped=2" +
+		" divergences=1 watchdog-resets=3 ptrace=0.5125 pfinite=true" +
+		" score(n=1200 mean=0.25 std=0.125 dropped=1)"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %q\n        want %q", got, want)
+	}
+}
+
 func TestStringRendersCounters(t *testing.T) {
 	s := Snapshot{
 		SamplesSeen: 1234, Rejected: 5, Clamped: 2, ModelDivergences: 1,

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Label is one name="value" pair on an exposed sample.
+type Label struct{ Name, Value string }
+
+// TextWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4, the format every scraper accepts). It emits the
+// # HELP / # TYPE header once per metric family, so per-stream samples
+// of the same family can be written back to back; the first write error
+// is sticky and returned by Err.
+//
+// Exposition runs on the scrape path, never the per-sample hot path,
+// so this writer favours clarity over allocation avoidance.
+type TextWriter struct {
+	w       io.Writer
+	err     error
+	emitted map[string]bool
+}
+
+// NewTextWriter returns a writer rendering to w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: w, emitted: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (t *TextWriter) Err() error { return t.err }
+
+// Counter writes one counter sample.
+func (t *TextWriter) Counter(name, help string, labels []Label, v uint64) {
+	t.header(name, help, "counter")
+	t.printf("%s%s %d\n", name, renderLabels(labels), v)
+}
+
+// Gauge writes one gauge sample.
+func (t *TextWriter) Gauge(name, help string, labels []Label, v float64) {
+	t.header(name, help, "gauge")
+	t.printf("%s%s %g\n", name, renderLabels(labels), v)
+}
+
+// Histogram writes one histogram sample: cumulative buckets with `le`
+// bounds, the +Inf bucket, and the _sum/_count pair. scale converts the
+// histogram's raw unit into the exposed unit (1e-9 for nanosecond
+// observations exposed as seconds, per Prometheus base-unit convention).
+func (t *TextWriter) Histogram(name, help string, labels []Label, s HistogramSnapshot, scale float64) {
+	t.header(name, help, "histogram")
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		// Cumulative counts may be sparse in the exposition format: a
+		// scraper fills the gaps, so empty power-of-two buckets cost
+		// nothing on the wire.
+		cum += c
+		le := float64(s.UpperBound(i)) * scale
+		t.printf("%s_bucket%s %d\n", name, renderLabels(append(labels, Label{"le", fmt.Sprintf("%.6g", le)})), cum)
+	}
+	t.printf("%s_bucket%s %d\n", name, renderLabels(append(labels, Label{"le", "+Inf"})), s.Count)
+	t.printf("%s_sum%s %.6g\n", name, renderLabels(labels), float64(s.Sum)*scale)
+	t.printf("%s_count%s %d\n", name, renderLabels(labels), s.Count)
+}
+
+// header emits the # HELP / # TYPE preamble once per family.
+func (t *TextWriter) header(name, help, typ string) {
+	if t.emitted[name] {
+		return
+	}
+	t.emitted[name] = true
+	t.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+func (t *TextWriter) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+// renderLabels formats {k="v",...}, empty string for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
