@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-kernels bench-fleet fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision fuzz-smoke check
 
 build:
 	$(GO) build ./...
+
+# Cross-compile smoke for the 32-bit Arm edge targets the paper deploys
+# to (Pi Pico toolchains, armv7 Linux). Catches 64-bit-only assumptions
+# — int-sized constants, alignment — that amd64 CI would never see.
+cross:
+	GOOS=linux GOARCH=arm $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -42,6 +48,12 @@ bench-fleet:
 	$(GO) run ./cmd/driftbench fleet -streams 64 -shards 16 -parallel 0
 	$(GO) run ./cmd/driftbench fleet -streams 8 -shards 4 -parallel 4
 
+# Numeric-backend comparison: f64/f32/q16 scoring throughput and
+# retained memory over the same replay, written as the BENCH_5 artifact.
+# `go test -bench=ScorePrecision .` is the benchstat-friendly twin.
+bench-precision:
+	$(GO) run ./cmd/driftbench precision -json BENCH_5.json
+
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`
 # takes one target per invocation, hence three runs.
@@ -50,7 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadState -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzLoadMonitor -fuzztime=10s .
 
-# The full pre-merge gate: tier-1 plus static analysis, the race
-# detector over the concurrent packages, and a fuzz smoke over the
-# artifact loaders.
-check: build vet staticcheck test race fuzz-smoke
+# The full pre-merge gate: tier-1 plus the 32-bit Arm cross-compile,
+# static analysis, the race detector over the concurrent packages, and a
+# fuzz smoke over the artifact loaders.
+check: build cross vet staticcheck test race fuzz-smoke

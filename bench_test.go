@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"testing"
 
+	"edgedrift/internal/datasets/nslkdd"
 	"edgedrift/internal/eval"
 )
 
@@ -189,4 +190,59 @@ func BenchmarkAblationMultiWindow(b *testing.B) {
 	out := runExperiment(b, "ablation-multiwindow")
 	reportCell(b, out.Tables[0], 2, 1, "quorum1-sudden-delay")
 	reportCell(b, out.Tables[0], 3, 1, "quorum2-sudden-delay")
+}
+
+// BenchmarkScorePrecision measures the per-sample scoring hot path of
+// each numeric backend — float64, float32, and the Q16.16 fixed-point
+// port — over the same NSL-KDD replay. The sub-benchmark names are
+// benchstat-friendly: run it on two commits and
+//
+//	benchstat old.txt new.txt
+//
+// compares the backends cell by cell. `driftbench precision -json`
+// wraps the same comparison as the BENCH_5 CI artifact. The retained
+// state of each backend is reported as the state-bytes metric
+// (Monitor.MemoryBytes / Streaming.MemoryBytes).
+func BenchmarkScorePrecision(b *testing.B) {
+	ds := nslkdd.Generate(nslkdd.DefaultParams())
+	train := func(b *testing.B, p Precision) *Monitor {
+		b.Helper()
+		mon, err := New(Options{
+			Classes: 2, Inputs: nslkdd.Features, Hidden: 22, Window: 100, Seed: 1,
+			Precision: p,
+		})
+		if err == nil {
+			err = mon.Fit(ds.TrainX, ds.TrainY)
+		}
+		if err != nil {
+			b.Fatalf("train %v monitor: %v", p, err)
+		}
+		return mon
+	}
+	backends := []struct {
+		name string
+		make func(b *testing.B) Streaming
+	}{
+		{"f64", func(b *testing.B) Streaming { return train(b, Float64) }},
+		{"f32", func(b *testing.B) Streaming { return train(b, Float32) }},
+		{"q16", func(b *testing.B) Streaming {
+			q, err := train(b, Float64).QuantizeQ16()
+			if err != nil {
+				b.Fatalf("quantize: %v", err)
+			}
+			return q
+		}},
+	}
+	for _, bc := range backends {
+		b.Run(bc.name, func(b *testing.B) {
+			s := bc.make(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Process(ds.TestX[i%len(ds.TestX)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.MemoryBytes()), "state-bytes")
+		})
+	}
 }

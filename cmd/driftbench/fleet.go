@@ -29,6 +29,7 @@ func runFleet(args []string) int {
 	parallel := fs.Int("parallel", 0, "streams processed concurrently (0 means GOMAXPROCS)")
 	batch := fs.Int("batch", 512, "samples per ProcessBatch call")
 	seed := fs.Uint64("seed", 1, "random seed for the shared trained monitor")
+	precision := fs.String("precision", "f64", "member numeric backend: f64, f32, or q16 (fixed-point inference port)")
 	jsonPath := fs.String("json", "", "also write the throughput summary as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -37,17 +38,30 @@ func runFleet(args []string) int {
 		fmt.Fprintln(os.Stderr, "fleet: -streams and -batch must be >= 1")
 		return 2
 	}
+	prec, err := edgedrift.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: unknown precision %q; use f64, f32 or q16\n", *precision)
+		return 2
+	}
 
 	ds := nslkdd.Generate(nslkdd.DefaultParams())
+	// The Q16.16 port is quantised from a fitted monitor, so the shared
+	// artifact is trained (and serialised) at f64 and each clone is
+	// quantised after loading; f32 trains and ships at f32 directly.
+	trainPrec := prec
+	if prec == edgedrift.Fixed16 {
+		trainPrec = edgedrift.Float64
+	}
 	mon, err := edgedrift.New(edgedrift.Options{
 		Classes: 2, Inputs: nslkdd.Features, Hidden: 22, Window: 100, Seed: *seed,
+		Precision: trainPrec,
 	})
 	if err == nil {
 		err = mon.Fit(ds.TrainX, ds.TrainY)
 	}
 	var art bytes.Buffer
 	if err == nil {
-		err = mon.Save(&art, edgedrift.Float64)
+		err = mon.Save(&art, trainPrec)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: train shared monitor: %v\n", err)
@@ -70,6 +84,18 @@ func runFleet(args []string) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: clone monitor: %v\n", err)
 			return 1
+		}
+		if prec == edgedrift.Fixed16 {
+			st, err := m.QuantizeQ16()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: quantize member: %v\n", err)
+				return 1
+			}
+			if err := f.AddStage(ids[i], st); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+				return 1
+			}
+			continue
 		}
 		if err := f.Add(ids[i], m); err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
@@ -136,8 +162,8 @@ func runFleet(args []string) int {
 	}
 	h := f.Health()
 
-	fmt.Printf("fleet: %d streams over %d shards, %d worker(s), %d-sample batches\n",
-		*streams, *shards, poolWorkers(*parallel), *batch)
+	fmt.Printf("fleet: %d streams over %d shards, %d worker(s), %d-sample batches, %s members\n",
+		*streams, *shards, poolWorkers(*parallel), *batch, prec)
 	fmt.Printf("replayed %d NSL-KDD samples (%d per stream, drift at sample %d of the interleaved stream)\n",
 		len(ds.TestX), len(parts[0]), ds.DriftAt)
 	fmt.Printf("aggregate throughput: %.0f samples/s (wall %.3fs)\n",
@@ -154,6 +180,7 @@ func runFleet(args []string) int {
 	if *jsonPath != "" {
 		sum := fleetSummary{
 			Streams: *streams, Shards: *shards, Workers: poolWorkers(*parallel), Batch: *batch,
+			Precision: prec.String(),
 			Samples:   len(ds.TestX),
 			WallSecs:  elapsed.Seconds(),
 			Aggregate: float64(len(ds.TestX)) / elapsed.Seconds(),
@@ -181,6 +208,7 @@ type fleetSummary struct {
 	Shards          int     `json:"shards"`
 	Workers         int     `json:"workers"`
 	Batch           int     `json:"batch"`
+	Precision       string  `json:"precision"`
 	Samples         int     `json:"samples"`
 	WallSecs        float64 `json:"wall_secs"`
 	Aggregate       float64 `json:"aggregate_samples_per_sec"`

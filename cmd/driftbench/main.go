@@ -7,9 +7,12 @@
 //	driftbench -exp all -parallel 4   # fan experiments out over 4 workers
 //	driftbench -exp fig4 -csv out/    # also dump CSV series/tables
 //	driftbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	driftbench -exp table2 -precision f32   # same experiment on the float32 backend
 //	driftbench -list                  # show the experiment registry
 //	driftbench fleet -streams 64      # multi-stream fleet throughput
+//	driftbench fleet -precision q16   # fleet of Q16.16 fixed-point members
 //	driftbench serve -addr :9100      # replay streams, serve /metrics + /health
+//	driftbench precision -json BENCH_5.json  # f64/f32/q16 scoring throughput
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"edgedrift"
 	"edgedrift/internal/eval"
 )
 
@@ -36,11 +40,15 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(runServe(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "precision" {
+		os.Exit(runPrecision(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
 func run() int {
 	exp := flag.String("exp", "all", "experiment id (fig1, fig4, table2..table6, ablation-*, ext-*), 'all', 'ablations', or 'extensions'")
+	precision := flag.String("precision", "f64", "numeric backend the experiment models compute at (f64 or f32; q16 is inference-only)")
 	seed := flag.Uint64("seed", 1, "random seed for the whole experiment")
 	csvDir := flag.String("csv", "", "directory to write CSV tables/series into")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -60,6 +68,18 @@ func run() int {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	prec, err := edgedrift.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown precision %q; use f64, f32 or q16\n", *precision)
+		return 2
+	}
+	if err := eval.SetPrecision(prec); err != nil {
+		// q16 lands here: the experiments train models, and the Q16.16
+		// backend is inference-only (quantised from a fitted monitor).
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
 	}
 
 	var todo []eval.Experiment

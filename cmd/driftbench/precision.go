@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/nslkdd"
+)
+
+// runPrecision is the `driftbench precision` subcommand: it trains one
+// monitor per trainable backend (f64, f32) on the NSL-KDD surrogate,
+// derives the Q16.16 port from the f64 monitor, and replays the test
+// stream through each, reporting per-sample scoring throughput and the
+// retained memory footprint side by side. -json writes the comparison as
+// the BENCH_5 artifact tracked by CI.
+func runPrecision(args []string) int {
+	fs := flag.NewFlagSet("precision", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "random seed for the trained monitors")
+	repeat := fs.Int("repeat", 3, "test-stream replays per backend (first replay per backend is a discarded warm-up)")
+	jsonPath := fs.String("json", "", "also write the comparison as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "precision: -repeat must be >= 1")
+		return 2
+	}
+
+	ds := nslkdd.Generate(nslkdd.DefaultParams())
+	train := func(p edgedrift.Precision) (*edgedrift.Monitor, error) {
+		mon, err := edgedrift.New(edgedrift.Options{
+			Classes: 2, Inputs: nslkdd.Features, Hidden: 22, Window: 100, Seed: *seed,
+			Precision: p,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mon, mon.Fit(ds.TrainX, ds.TrainY)
+	}
+	m64, err := train(edgedrift.Float64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "precision: train f64: %v\n", err)
+		return 1
+	}
+	m32, err := train(edgedrift.Float32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "precision: train f32: %v\n", err)
+		return 1
+	}
+	// The Q16.16 port comes from its own f64 clone so the benchmark run
+	// of the f64 monitor above is not perturbed by quantisation state.
+	mq, err := train(edgedrift.Float64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "precision: train q16 donor: %v\n", err)
+		return 1
+	}
+	q16, err := mq.QuantizeQ16()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "precision: quantize: %v\n", err)
+		return 1
+	}
+
+	backends := []struct {
+		name string
+		s    edgedrift.Streaming
+		mem  int
+	}{
+		{"f64", m64, m64.MemoryBytes()},
+		{"f32", m32, m32.MemoryBytes()},
+		{"q16", q16, q16.MemoryBytes()},
+	}
+	rows := make([]precisionRow, 0, len(backends))
+	for _, b := range backends {
+		var best float64
+		for r := 0; r < *repeat+1; r++ {
+			start := time.Now()
+			for _, x := range ds.TestX {
+				b.s.Process(x)
+			}
+			rate := float64(len(ds.TestX)) / time.Since(start).Seconds()
+			// Replay 0 warms caches (and, for f64/f32, settles any
+			// post-drift reconstruction); keep the best steady-state rate.
+			if r > 0 && rate > best {
+				best = rate
+			}
+		}
+		rows = append(rows, precisionRow{Precision: b.name, SamplesPerSec: best, MemoryBytes: b.mem})
+	}
+
+	fmt.Printf("precision: %d-sample NSL-KDD replay, best of %d after warm-up\n", len(ds.TestX), *repeat)
+	base := rows[0].SamplesPerSec
+	for _, r := range rows {
+		fmt.Printf("%-4s %12.0f samples/s  %6.2fx f64  %8.1f kB retained\n",
+			r.Precision, r.SamplesPerSec, r.SamplesPerSec/base, float64(r.MemoryBytes)/1024)
+	}
+
+	if *jsonPath != "" {
+		sum := precisionSummary{Samples: len(ds.TestX), Repeat: *repeat, Backends: rows}
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "precision: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "precision: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// precisionRow is one backend's measurement in the BENCH_5 artifact.
+type precisionRow struct {
+	Precision     string  `json:"precision"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	MemoryBytes   int     `json:"memory_bytes"`
+}
+
+// precisionSummary is the machine-readable form of the precision
+// comparison, written by -json for CI artifact tracking.
+type precisionSummary struct {
+	Samples  int            `json:"samples"`
+	Repeat   int            `json:"repeat"`
+	Backends []precisionRow `json:"backends"`
+}

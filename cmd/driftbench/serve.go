@@ -69,6 +69,7 @@ func runServe(args []string) int {
 	shards := fs.Int("shards", 8, "fleet registry shard count")
 	batch := fs.Int("batch", 256, "samples per ProcessBatch call")
 	seed := fs.Uint64("seed", 1, "random seed for the shared trained monitor")
+	precision := fs.String("precision", "f64", "member numeric backend: f64, f32, or q16 (fixed-point inference port)")
 	addr := fs.String("addr", "127.0.0.1:9100", "HTTP listen address")
 	sampleEvery := fs.Int("sample-every", 64, "time every k-th sample per stream (0 disables latency sampling)")
 	traceDepth := fs.Int("trace-depth", 64, "retained drift detections per stream")
@@ -81,17 +82,29 @@ func runServe(args []string) int {
 		fmt.Fprintln(os.Stderr, "serve: -streams and -batch must be >= 1")
 		return 2
 	}
+	prec, perr := edgedrift.ParsePrecision(*precision)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "serve: unknown precision %q; use f64, f32 or q16\n", *precision)
+		return 2
+	}
 
 	ds := nslkdd.Generate(nslkdd.DefaultParams())
+	// Same cloning scheme as `driftbench fleet`: q16 members are
+	// quantised from an f64-trained clone, f64/f32 train directly.
+	trainPrec := prec
+	if prec == edgedrift.Fixed16 {
+		trainPrec = edgedrift.Float64
+	}
 	mon, err := edgedrift.New(edgedrift.Options{
 		Classes: 2, Inputs: nslkdd.Features, Hidden: 22, Window: 100, Seed: *seed,
+		Precision: trainPrec,
 	})
 	if err == nil {
 		err = mon.Fit(ds.TrainX, ds.TrainY)
 	}
 	var art bytes.Buffer
 	if err == nil {
-		err = mon.Save(&art, edgedrift.Float64)
+		err = mon.Save(&art, trainPrec)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: train shared monitor: %v\n", err)
@@ -113,6 +126,18 @@ func runServe(args []string) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: clone monitor: %v\n", err)
 			return 1
+		}
+		if prec == edgedrift.Fixed16 {
+			st, err := m.QuantizeQ16()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: quantize member: %v\n", err)
+				return 1
+			}
+			if err := f.AddStage(ids[i], st); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				return 1
+			}
+			continue
 		}
 		if err := f.Add(ids[i], m); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -158,7 +183,7 @@ func runServe(args []string) int {
 		defer shutCancel()
 		srv.Shutdown(shutCtx)
 	}()
-	log.Printf("serve: %d streams replaying; /metrics /health /trace on http://%s", *streams, *addr)
+	log.Printf("serve: %d %s streams replaying; /metrics /health /trace on http://%s", *streams, prec, *addr)
 	err = srv.ListenAndServe()
 	wg.Wait()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"edgedrift/internal/core"
+	"edgedrift/internal/fixed"
 	"edgedrift/internal/health"
 	"edgedrift/internal/mat"
 	"edgedrift/internal/model"
@@ -120,6 +121,14 @@ type Options struct {
 	// ClampLimit is the magnitude ±Inf features are clamped to under
 	// GuardClamp (0 → 1e12).
 	ClampLimit float64
+
+	// Precision selects the numeric backend the model's inference-side
+	// state computes at: Float64 (the zero value, bit-identical to the
+	// historical behaviour) or Float32 (half the inference footprint; RLS
+	// training keeps its conditioning state at float64). Fixed16 is
+	// inference-only and rejected here — fit a float monitor and derive
+	// the integer port with QuantizeQ16.
+	Precision Precision
 }
 
 // Monitor is the user-facing bundle of discriminative model + drift
@@ -153,6 +162,7 @@ func New(opts Options) (*Monitor, error) {
 		Hidden:     opts.Hidden,
 		Forgetting: opts.Forgetting,
 		Ridge:      opts.Ridge,
+		Precision:  opts.Precision,
 	}, r.Split())
 	if err != nil {
 		return nil, err
@@ -169,6 +179,7 @@ func New(opts Options) (*Monitor, error) {
 		ResetModelOnDrift: true,
 		Guard:             opts.Guard,
 		ClampLimit:        opts.ClampLimit,
+		Precision:         opts.Precision,
 	}
 	det, err := core.New(m, cfg)
 	if err != nil {
@@ -297,6 +308,24 @@ func (m *Monitor) MemoryBytes() int { return m.det.MemoryBytes() }
 // SetOps attaches an operation counter to every compute kernel in the
 // monitor (nil detaches).
 func (m *Monitor) SetOps(c *OpCounter) { m.det.SetOps(c) }
+
+// Precision returns the numeric backend the monitor's model computes
+// at (Options.Precision).
+func (m *Monitor) Precision() Precision { return m.model.Precision() }
+
+// QuantizeQ16 derives the Q16.16 fixed-point port of the fitted
+// monitor — the on-device half of a split deployment for FPU-less
+// targets. The returned stage predicts labels and raises drift flags in
+// pure integer arithmetic; it does not reconstruct (the host retrains
+// and ships a fresh artifact). Values that clipped to the Q16.16 range
+// during quantisation are surfaced through the stage's
+// Health().QuantSaturations counter.
+func (m *Monitor) QuantizeQ16() (Streaming, error) {
+	if !m.fit {
+		return nil, errors.New("edgedrift: QuantizeQ16 before Fit")
+	}
+	return fixed.NewStream(fixed.QuantizeDetector(m.det)), nil
+}
 
 // Detector exposes the underlying core detector for advanced use
 // (stage-level op accounting, centroid inspection).

@@ -59,7 +59,7 @@ func main() {
 	fmt.Printf("memory: model+detector retain %.1f kB as float64 (%.1f kB deployed as float32)\n",
 		device.KB(f64), device.KB(f32))
 	fmt.Printf("        Pico RAM is %.0f kB: float32 deployment fits=%v\n\n",
-		device.KB(pico.RAMBytes), pico.FitsIn(f32, 0))
+		device.KB(int(pico.RAMBytes)), pico.FitsIn(f32, 0))
 
 	fmt.Printf("whole-stream modelled time: Pico %.1f s, Pi 4 %.2f s\n\n",
 		pico.Seconds(ops), pi4.Seconds(ops))

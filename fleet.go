@@ -32,6 +32,12 @@ type StageMetrics = core.StageMetrics
 // θ_error in force at detection time.
 type TraceEvent = core.TraceEvent
 
+// Streaming is the composable per-sample stage contract every detector
+// in this repository satisfies (see the core package). Monitors, their
+// Q16.16 ports (Monitor.QuantizeQ16) and custom stages all implement
+// it, and a Fleet can host any mix of them via AddStage.
+type Streaming = core.Streaming
+
 // Fleet monitors many independent streams at once: a sharded,
 // multi-tenant registry of Monitors keyed by stream ID. A Monitor alone
 // is the single-stream special case — one state machine, one goroutine;
@@ -59,6 +65,19 @@ func (f *Fleet) Add(id string, mon *Monitor) error {
 		return fmt.Errorf("edgedrift: fleet add %q: monitor not fitted", id)
 	}
 	return f.f.Add(id, mon)
+}
+
+// AddStage registers any streaming stage — e.g. the fixed-point port
+// from Monitor.QuantizeQ16 — under a stream ID, letting one fleet host
+// members at different numeric precisions side by side. Stage members
+// are processed, health-aggregated and metered like Monitors, but the
+// Monitor-specific surfaces (Do, Save) report them as non-Monitor
+// members.
+func (f *Fleet) AddStage(id string, s Streaming) error {
+	if s == nil {
+		return fmt.Errorf("edgedrift: fleet add %q: nil stage", id)
+	}
+	return f.f.Add(id, s)
 }
 
 // Remove deregisters a stream, reporting whether it existed and, when

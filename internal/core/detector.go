@@ -9,6 +9,7 @@ import (
 	"edgedrift/internal/mat"
 	"edgedrift/internal/model"
 	"edgedrift/internal/opcount"
+	"edgedrift/internal/oselm"
 	"edgedrift/internal/stats"
 )
 
@@ -208,6 +209,13 @@ type Config struct {
 	// ClampLimit is the magnitude ±Inf features are clamped to under
 	// GuardClamp; 0 means 1e12.
 	ClampLimit float64
+	// Precision pins the numeric backend the bound model must compute
+	// at; New rejects a model whose precision differs, so a config that
+	// says "f32" can never silently run over a float64 model. The zero
+	// value (Float64) is also what un-precision-aware callers get, so it
+	// doubles as "the historical default" — models at other precisions
+	// must be paired with a config that names theirs.
+	Precision oselm.Precision
 }
 
 // DefaultConfig returns the paper-faithful configuration for a given
@@ -343,6 +351,9 @@ func New(m *model.Multi, cfg Config) (*Detector, error) {
 	c, err := cfg.withDefaults(m.Classes())
 	if err != nil {
 		return nil, err
+	}
+	if c.Precision != m.Precision() {
+		return nil, fmt.Errorf("core: config precision %v does not match model precision %v", c.Precision, m.Precision())
 	}
 	d := &Detector{
 		cfg:       c,

@@ -236,6 +236,7 @@ func loadStateBody(r io.Reader, m *model.Multi, hasPins bool) (*Detector, error)
 		ZDrift:            f[0],
 		ZError:            f[1],
 		EWMAGamma:         f[2],
+		Precision:         m.Precision(),
 	}
 	if hasPins {
 		cfg.ErrorThreshold, cfg.DriftThreshold = f[6], f[7]

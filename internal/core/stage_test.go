@@ -29,8 +29,8 @@ func TestGuardNestedHealthCounters(t *testing.T) {
 	nan := []float64{math.NaN()}
 
 	inner := NewGuard(&echoStage{}, GuardReject, 0)
-	inner.Process(nan)            // rejected by the inner guard directly
-	inner.Process([]float64{1})   // accepted
+	inner.Process(nan)          // rejected by the inner guard directly
+	inner.Process([]float64{1}) // accepted
 	if got := inner.Health().Rejected; got != 1 {
 		t.Fatalf("inner guard rejected = %d, want 1", got)
 	}

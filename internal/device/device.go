@@ -30,8 +30,11 @@ type Profile struct {
 	Name string
 	// ClockHz is the core clock.
 	ClockHz float64
-	// RAMBytes is the usable RAM.
-	RAMBytes int
+	// RAMBytes is the usable RAM. int64, not int: the Pi 4's 4 GiB
+	// overflows a 32-bit int, and the profiles must compile on the very
+	// 32-bit Arm targets they describe (the CI cross-compile smoke
+	// builds GOOS=linux GOARCH=arm).
+	RAMBytes int64
 	// Cycle costs per operation class.
 	CyclesMulAdd float64
 	CyclesAdd    float64

@@ -69,7 +69,7 @@ func newAblationScenario(seed uint64) *ablationScenario {
 }
 
 func (s *ablationScenario) model(seed uint64, forgetting float64, hidden int) *model.Multi {
-	m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: hidden, Ridge: 1e-2, Forgetting: forgetting}, rng.New(seed))
+	m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: hidden, Ridge: 1e-2, Forgetting: forgetting, Precision: modelPrecision}, rng.New(seed))
 	if err != nil {
 		panic(err)
 	}
@@ -80,7 +80,7 @@ func (s *ablationScenario) model(seed uint64, forgetting float64, hidden int) *m
 }
 
 func (s *ablationScenario) detector(seed uint64, mutate func(*core.Config)) *core.Detector {
-	m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+	m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 	if err != nil {
 		panic(err)
 	}
@@ -89,6 +89,7 @@ func (s *ablationScenario) detector(seed uint64, mutate func(*core.Config)) *cor
 		panic(err)
 	}
 	cfg := core.DefaultConfig(50)
+	cfg.Precision = modelPrecision
 	cfg.NRecon = 400
 	cfg.ErrorThreshold = thetaErr
 	if mutate != nil {
@@ -231,6 +232,7 @@ func AblationHidden(seed uint64) *Outcome {
 	for _, h := range []int{4, 8, 22, 64} {
 		m := sc.model(seed, 1, h)
 		cfg := core.DefaultConfig(50)
+		cfg.Precision = modelPrecision
 		cfg.NRecon = 400
 		det, err := core.New(m, cfg)
 		if err != nil {
@@ -287,7 +289,7 @@ func AblationMultiWindow(seed uint64) *Outcome {
 	}
 
 	ensemble := func(stream *coolingfan.Stream, quorum int) int {
-		m, err := model.New(model.Config{Classes: 1, Inputs: coolingfan.Features, Hidden: fanHidden, Ridge: 1e-2}, rng.New(seed))
+		m, err := model.New(model.Config{Classes: 1, Inputs: coolingfan.Features, Hidden: fanHidden, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 		if err != nil {
 			panic(err)
 		}

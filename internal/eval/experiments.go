@@ -12,6 +12,7 @@ import (
 	"edgedrift/internal/detectors/spll"
 	"edgedrift/internal/device"
 	"edgedrift/internal/model"
+	"edgedrift/internal/oselm"
 	"edgedrift/internal/rng"
 	"edgedrift/internal/stats"
 )
@@ -85,6 +86,31 @@ const (
 	proposedNReconFan = 200
 )
 
+// modelPrecision is the numeric backend every experiment's model is
+// built with. The zero value (oselm.Float64) reproduces the paper's
+// tables bit-identically; SetPrecision(oselm.Float32) re-runs the same
+// experiments on the float32 inference backend so Table-2 parity can be
+// measured against the f64 goldens.
+var modelPrecision oselm.Precision
+
+// SetPrecision selects the numeric backend for subsequently-run
+// experiments. Only Float64 and Float32 are trainable; the Q16.16
+// backend is inference-only and is rejected here (quantise a fitted
+// monitor via edgedrift.Monitor.QuantizeQ16 instead). Not safe to call
+// concurrently with a running experiment.
+func SetPrecision(p oselm.Precision) error {
+	switch p {
+	case oselm.Float64, oselm.Float32:
+		modelPrecision = p
+		return nil
+	default:
+		return fmt.Errorf("eval: precision %v is not trainable (valid: f64, f32)", p)
+	}
+}
+
+// ModelPrecision reports the backend experiments currently build with.
+func ModelPrecision() oselm.Precision { return modelPrecision }
+
 // trainPrequential trains the model sample-by-sample while recording the
 // winner anomaly score of each sample *before* training on it — the
 // unbiased estimate of deployment-time scores. It returns μ + 2σ of the
@@ -115,6 +141,7 @@ func nslModel(ds *nslkdd.Dataset, forgetting float64, seed uint64) (*model.Multi
 		Hidden:     nslHidden,
 		Forgetting: forgetting,
 		Ridge:      1e-2,
+		Precision:  modelPrecision,
 	}, rng.New(seed))
 	if err != nil {
 		return nil, err
@@ -133,6 +160,7 @@ func fanModel(trainX [][]float64, trainY []int, forgetting float64, seed uint64)
 		Hidden:     fanHidden,
 		Forgetting: forgetting,
 		Ridge:      1e-2,
+		Precision:  modelPrecision,
 	}, rng.New(seed))
 	if err != nil {
 		return nil, err
@@ -146,10 +174,11 @@ func fanModel(trainX [][]float64, trainY []int, forgetting float64, seed uint64)
 // proposedNSL builds a calibrated proposed-method detector for NSL-KDD.
 func proposedNSL(ds *nslkdd.Dataset, window int, seed uint64) (*core.Detector, error) {
 	m, err := model.New(model.Config{
-		Classes: 2,
-		Inputs:  nslkdd.Features,
-		Hidden:  nslHidden,
-		Ridge:   1e-2,
+		Classes:   2,
+		Inputs:    nslkdd.Features,
+		Hidden:    nslHidden,
+		Ridge:     1e-2,
+		Precision: modelPrecision,
 	}, rng.New(seed))
 	if err != nil {
 		return nil, err
@@ -159,6 +188,7 @@ func proposedNSL(ds *nslkdd.Dataset, window int, seed uint64) (*core.Detector, e
 		return nil, err
 	}
 	cfg := core.DefaultConfig(window)
+	cfg.Precision = modelPrecision
 	cfg.NRecon = proposedNReconNSL
 	cfg.NSearch = 30
 	cfg.NUpdate = 500
@@ -177,10 +207,11 @@ func proposedNSL(ds *nslkdd.Dataset, window int, seed uint64) (*core.Detector, e
 // cooling-fan stream.
 func proposedFan(trainX [][]float64, trainY []int, window int, seed uint64) (*core.Detector, error) {
 	m, err := model.New(model.Config{
-		Classes: 1,
-		Inputs:  coolingfan.Features,
-		Hidden:  fanHidden,
-		Ridge:   1e-2,
+		Classes:   1,
+		Inputs:    coolingfan.Features,
+		Hidden:    fanHidden,
+		Ridge:     1e-2,
+		Precision: modelPrecision,
 	}, rng.New(seed))
 	if err != nil {
 		return nil, err
@@ -190,6 +221,7 @@ func proposedFan(trainX [][]float64, trainY []int, window int, seed uint64) (*co
 		return nil, err
 	}
 	cfg := core.DefaultConfig(window)
+	cfg.Precision = modelPrecision
 	cfg.NRecon = proposedNReconFan
 	cfg.NUpdate = 50
 	cfg.ErrorThreshold = thetaErr
@@ -619,7 +651,7 @@ func Figure3(seed uint64) *Outcome {
 	r := rng.New(seed)
 	trainX, trainY := synth.TrainingSet(pre, 300, r)
 
-	m, err := model.New(model.Config{Classes: 3, Inputs: 2, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+	m, err := model.New(model.Config{Classes: 3, Inputs: 2, Hidden: 8, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 	if err != nil {
 		panic(err)
 	}
@@ -628,6 +660,7 @@ func Figure3(seed uint64) *Outcome {
 		panic(err)
 	}
 	cfg := core.DefaultConfig(60)
+	cfg.Precision = modelPrecision
 	cfg.ErrorThreshold = thetaErr
 	det, err := core.New(m, cfg)
 	if err != nil {

@@ -91,7 +91,7 @@ func ExtensionErrorRate(seed uint64) *Outcome {
 // any core.Streaming over a one-feature error stream (x[0] = 1 on a
 // graded error) — DDM and ADWIN both are, with no adapter code here.
 func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle bool, nrecon int, errDet core.Streaming) *RunResult {
-	m, err := model.New(model.Config{Classes: 2, Inputs: len(ds.TrainX[0]), Hidden: nslHidden, Ridge: 1e-2}, rng.New(seed))
+	m, err := model.New(model.Config{Classes: 2, Inputs: len(ds.TrainX[0]), Hidden: nslHidden, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 	if err != nil {
 		panic(err)
 	}
@@ -102,6 +102,7 @@ func runErrorRateDetector(ds *nslkdd.Dataset, cfg RunConfig, seed uint64, oracle
 	// Reconstruction is driven through a detector that never self-fires;
 	// the error-rate detector pulls the trigger instead.
 	dcfg := core.DefaultConfig(100)
+	dcfg.Precision = modelPrecision
 	dcfg.NRecon = nrecon
 	dcfg.NSearch = 30
 	dcfg.NUpdate = nrecon / 3
@@ -255,7 +256,7 @@ func ExtensionIncremental(seed uint64) *Outcome {
 		},
 	}
 	for _, w := range []int{50, 150, 400} {
-		m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+		m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 		if err != nil {
 			panic(err)
 		}
@@ -264,6 +265,7 @@ func ExtensionIncremental(seed uint64) *Outcome {
 			panic(err)
 		}
 		cfg := core.DefaultConfig(w)
+		cfg.Precision = modelPrecision
 		cfg.NRecon = 400
 		cfg.ErrorThreshold = thetaErr
 		det, err := core.New(m, cfg)
@@ -316,7 +318,7 @@ func ExtensionHealth(seed uint64) *Outcome {
 	}
 
 	mkDet := func(g core.GuardPolicy) *core.Detector {
-		m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2}, rng.New(seed))
+		m, err := model.New(model.Config{Classes: 2, Inputs: 4, Hidden: 8, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 		if err != nil {
 			panic(err)
 		}
@@ -325,6 +327,7 @@ func ExtensionHealth(seed uint64) *Outcome {
 			panic(err)
 		}
 		cfg := core.DefaultConfig(100)
+		cfg.Precision = modelPrecision
 		cfg.NRecon = 400
 		cfg.ErrorThreshold = thetaErr
 		cfg.Guard = g
@@ -391,7 +394,7 @@ func ExtensionRealDrift(seed uint64) *Outcome {
 	}
 
 	mkModel := func() *model.Multi {
-		m, err := model.New(model.Config{Classes: 2, Inputs: 3, Hidden: 10, Ridge: 1e-2}, rng.New(seed))
+		m, err := model.New(model.Config{Classes: 2, Inputs: 3, Hidden: 10, Ridge: 1e-2, Precision: modelPrecision}, rng.New(seed))
 		if err != nil {
 			panic(err)
 		}
@@ -405,6 +408,7 @@ func ExtensionRealDrift(seed uint64) *Outcome {
 		panic(err)
 	}
 	cfg := core.DefaultConfig(100)
+	cfg.Precision = modelPrecision
 	cfg.NRecon = 400
 	cfg.ErrorThreshold = thetaErr
 	det, err := core.New(m, cfg)

@@ -3,13 +3,15 @@ package fixed
 import (
 	"fmt"
 
+	"edgedrift/internal/mat"
 	"edgedrift/internal/opcount"
 	"edgedrift/internal/oselm"
 )
 
 // Autoencoder is an inference-only Q16.16 quantisation of a trained
 // oselm.Autoencoder: fixed W, b, β; no P matrix (training stays on the
-// float path / the host).
+// float path / the host). The hot loops are the shared integer kernels
+// of internal/mat instantiated at Q.
 type Autoencoder struct {
 	inputs, hidden int
 	// w is row-major Hidden×Inputs, beta row-major Hidden×Inputs
@@ -20,40 +22,39 @@ type Autoencoder struct {
 
 	h     []Q
 	recon []Q
+	sat   int // parameters clipped during quantisation
 	ops   *opcount.Counter
 }
 
 // QuantizeAutoencoder converts a trained float autoencoder for
 // fixed-point inference. Weight magnitudes must fit Q16.16 (they do for
 // standardised features and the paper's configurations; saturation
-// applies otherwise).
+// applies otherwise and is counted — see Saturations).
 func QuantizeAutoencoder(src *oselm.Autoencoder) *Autoencoder {
 	m := src.Model()
 	cfg := m.Config()
 	a := &Autoencoder{
 		inputs: cfg.Inputs,
 		hidden: cfg.Hidden,
-		w:      make([]Q, cfg.Hidden*cfg.Inputs),
-		bias:   make([]Q, cfg.Hidden),
-		beta:   make([]Q, cfg.Hidden*cfg.Inputs),
 		h:      make([]Q, cfg.Hidden),
 		recon:  make([]Q, cfg.Inputs),
 	}
 	wf, bf, betaf := m.Weights()
-	for i, v := range wf {
-		a.w[i] = FromFloat(v)
-	}
-	for i, v := range bf {
-		a.bias[i] = FromFloat(v)
-	}
-	for i, v := range betaf {
-		a.beta[i] = FromFloat(v)
-	}
+	var s1, s2, s3 int
+	a.w, s1 = QuantizeVecChecked(wf)
+	a.bias, s2 = QuantizeVecChecked(bf)
+	a.beta, s3 = QuantizeVecChecked(betaf)
+	a.sat = s1 + s2 + s3
 	return a
 }
 
 // Inputs returns the feature dimension.
 func (a *Autoencoder) Inputs() int { return a.inputs }
+
+// Saturations reports how many parameters clipped to the Q16.16 range
+// while the autoencoder was quantised. Non-zero means the float model's
+// weights exceeded ±32768 and the quantised scores are suspect.
+func (a *Autoencoder) Saturations() int { return a.sat }
 
 // SetOps attaches an operation counter (integer MACs are counted in the
 // MulAdd class; the device profile decides what they cost).
@@ -66,28 +67,16 @@ func (a *Autoencoder) Score(x []Q) Q {
 	if len(x) != a.inputs {
 		panic(fmt.Sprintf("fixed: input dimension %d, want %d", len(x), a.inputs))
 	}
-	// Hidden layer.
-	for i := 0; i < a.hidden; i++ {
-		row := a.w[i*a.inputs : (i+1)*a.inputs]
-		a.h[i] = Sigmoid(Add(DotAcc(row, x), a.bias[i]))
+	// Hidden layer: h = g(W·x + b).
+	mat.MulVecQ16(a.h, a.w, x)
+	for i, v := range a.h {
+		a.h[i] = Sigmoid(Add(v, a.bias[i]))
 	}
 	a.ops.AddMulAdd(a.hidden * a.inputs)
 	a.ops.AddAdd(a.hidden)
 	a.ops.AddExp(a.hidden) // table lookups; profiles may cost them as cheap
 	// Output layer: recon = βᵀ·h.
-	for j := range a.recon {
-		a.recon[j] = 0
-	}
-	for i := 0; i < a.hidden; i++ {
-		hi := a.h[i]
-		if hi == 0 {
-			continue
-		}
-		row := a.beta[i*a.inputs : (i+1)*a.inputs]
-		for j, b := range row {
-			a.recon[j] = Add(a.recon[j], Mul(hi, b))
-		}
-	}
+	mat.MulVecTransQ16(a.recon, a.beta, a.h)
 	a.ops.AddMulAdd(a.hidden * a.inputs)
 	// Mean absolute error.
 	total := L1DistAcc(a.recon, x)

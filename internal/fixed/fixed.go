@@ -9,11 +9,11 @@
 // integer multiply-accumulates, roughly two orders of magnitude cheaper.
 // This package provides:
 //
-//   - the Q16.16 scalar type and its arithmetic (saturating conversion,
-//     full-precision 64-bit intermediate products);
-//   - a piecewise-linear sigmoid suited to table-driven MCUs;
+//   - the Q16.16 scalar type Q and float conversion (the arithmetic
+//     kernels live in internal/mat's Q16 layer, shared with the float
+//     backends' kernel layer — this package instantiates them at Q);
 //   - Autoencoder, an inference-only quantisation of a trained
-//     oselm.Autoencoder;
+//     oselm.Autoencoder, with saturation accounting;
 //   - Monitor, the on-device half of a split deployment: quantised label
 //     prediction plus the sequential centroid drift check of Algorithm 1.
 //     On detection it raises a flag instead of reconstructing — the
@@ -26,19 +26,21 @@
 package fixed
 
 import (
-	"fmt"
 	"math"
+
+	"edgedrift/internal/mat"
 )
 
 // Q is a Q16.16 fixed-point number: 16 integer bits (signed) and 16
-// fractional bits in an int32.
+// fractional bits in an int32. It satisfies mat.FixedElement, so the
+// shared integer kernels instantiate at it directly.
 type Q int32
 
 // Shift is the fractional bit count.
-const Shift = 16
+const Shift = mat.Q16Shift
 
 // One is the Q representation of 1.0.
-const One Q = 1 << Shift
+const One = Q(mat.Q16One)
 
 // MaxQ and MinQ are the representable range (≈ ±32768).
 const (
@@ -46,18 +48,29 @@ const (
 	MinQ Q = math.MinInt32
 )
 
-// FromFloat converts a float64 to Q with saturation.
+// FromFloat converts a float64 to Q with silent saturation.
 func FromFloat(f float64) Q {
+	q, _ := FromFloatChecked(f)
+	return q
+}
+
+// FromFloatChecked converts a float64 to Q, additionally reporting
+// whether the value was clipped to the representable range (or was NaN,
+// mapped to 0) — the silent failure mode of quantising a model whose
+// weights outgrew ±32768. Quantisation entry points count these so a
+// bad quantisation is visible in health reporting instead of just
+// scoring garbage.
+func FromFloatChecked(f float64) (Q, bool) {
 	v := f * float64(One)
 	switch {
 	case v >= float64(MaxQ):
-		return MaxQ
+		return MaxQ, true
 	case v <= float64(MinQ):
-		return MinQ
+		return MinQ, true
 	case math.IsNaN(v):
-		return 0
+		return 0, true
 	}
-	return Q(math.Round(v))
+	return Q(math.Round(v)), false
 }
 
 // Float converts q back to float64.
@@ -65,10 +78,7 @@ func (q Q) Float() float64 { return float64(q) / float64(One) }
 
 // Mul multiplies two Q values with a 64-bit intermediate (no overflow of
 // the product itself; the result saturates).
-func Mul(a, b Q) Q {
-	p := (int64(a) * int64(b)) >> Shift
-	return satur(p)
-}
+func Mul(a, b Q) Q { return mat.MulQ16(a, b) }
 
 // Div divides a by b (b must be non-zero) with saturation.
 func Div(a, b Q) Q {
@@ -80,10 +90,10 @@ func Div(a, b Q) Q {
 }
 
 // Add returns a+b with saturation.
-func Add(a, b Q) Q { return satur(int64(a) + int64(b)) }
+func Add(a, b Q) Q { return mat.AddQ16(a, b) }
 
 // Sub returns a−b with saturation.
-func Sub(a, b Q) Q { return satur(int64(a) - int64(b)) }
+func Sub(a, b Q) Q { return mat.SubQ16(a, b) }
 
 // Abs returns |q| (saturating at MaxQ for MinQ).
 func Abs(q Q) Q {
@@ -96,88 +106,39 @@ func Abs(q Q) Q {
 	return -q
 }
 
-func satur(v int64) Q {
-	switch {
-	case v > int64(MaxQ):
-		return MaxQ
-	case v < int64(MinQ):
-		return MinQ
-	}
-	return Q(v)
-}
+func satur(v int64) Q { return mat.SatQ16[Q](v) }
 
 // DotAcc accumulates Σ aᵢ·bᵢ in a 64-bit accumulator and converts once —
 // the standard fixed-point MAC-loop pattern (one shift per dot product,
 // not per term).
-func DotAcc(a, b []Q) Q {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("fixed: dot length %d vs %d", len(a), len(b)))
-	}
-	var acc int64
-	for i, v := range a {
-		acc += int64(v) * int64(b[i])
-	}
-	return satur(acc >> Shift)
-}
+func DotAcc(a, b []Q) Q { return mat.DotQ16(a, b) }
 
 // L1DistAcc returns Σ|aᵢ−bᵢ| with a 64-bit accumulator.
-func L1DistAcc(a, b []Q) Q {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("fixed: l1 length %d vs %d", len(a), len(b)))
-	}
-	var acc int64
-	for i, v := range a {
-		d := int64(v) - int64(b[i])
-		if d < 0 {
-			d = -d
-		}
-		acc += d
-	}
-	return satur(acc)
-}
+func L1DistAcc(a, b []Q) Q { return mat.L1DistQ16(a, b) }
 
-// sigmoidTable holds a piecewise-linear approximation of the logistic
-// function over [-8, 8] with 64 segments; beyond the range it clamps to
-// 0/1. Max absolute error ≈ 1e-3, well below the Q16.16 noise floor of
-// the downstream dot products at D≈500.
-const sigmoidSegments = 64
+// Sigmoid evaluates the logistic function by table interpolation — the
+// shared piecewise-linear kernel over [−8, 8].
+func Sigmoid(x Q) Q { return mat.SigmoidQ16(x) }
 
-var sigmoidTable [sigmoidSegments + 1]Q
-
-func init() {
-	for i := 0; i <= sigmoidSegments; i++ {
-		x := -8.0 + 16.0*float64(i)/float64(sigmoidSegments)
-		sigmoidTable[i] = FromFloat(1.0 / (1.0 + math.Exp(-x)))
-	}
-}
-
-// Sigmoid evaluates the logistic function by table interpolation.
-func Sigmoid(x Q) Q {
-	lo := FromFloat(-8)
-	hi := FromFloat(8)
-	if x <= lo {
-		return 0
-	}
-	if x >= hi {
-		return One
-	}
-	// Position within the table: (x+8)/16 · segments.
-	pos := (int64(x) - int64(lo)) * sigmoidSegments
-	span := int64(hi) - int64(lo)
-	idx := pos / span
-	frac := Q(((pos % span) << Shift) / span)
-	a := sigmoidTable[idx]
-	b := sigmoidTable[idx+1]
-	return Add(a, Mul(frac, Sub(b, a)))
-}
-
-// QuantizeVec converts a float vector to Q.
+// QuantizeVec converts a float vector to Q with silent saturation.
 func QuantizeVec(xs []float64) []Q {
-	out := make([]Q, len(xs))
-	for i, v := range xs {
-		out[i] = FromFloat(v)
-	}
+	out, _ := QuantizeVecChecked(xs)
 	return out
+}
+
+// QuantizeVecChecked converts a float vector to Q and reports how many
+// elements saturated.
+func QuantizeVecChecked(xs []float64) ([]Q, int) {
+	out := make([]Q, len(xs))
+	sat := 0
+	for i, v := range xs {
+		q, s := FromFloatChecked(v)
+		out[i] = q
+		if s {
+			sat++
+		}
+	}
+	return out, sat
 }
 
 // DequantizeVec converts back to float64.

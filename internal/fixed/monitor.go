@@ -32,30 +32,51 @@ type Monitor struct {
 
 	samples int
 	events  []int
+	sat     int // values clipped during quantisation
 	ops     *opcount.Counter
 }
 
 // QuantizeDetector builds a fixed-point monitor from a calibrated float
 // detector: every instance, centroid and threshold is quantised in one
-// shot.
+// shot. Values that clip to the Q16.16 range are counted — see
+// Saturations.
 func QuantizeDetector(det *core.Detector) *Monitor {
 	m := det.Model()
 	classes := m.Classes()
+	thetaE, satE := FromFloatChecked(det.ThetaError())
+	thetaD, satD := FromFloatChecked(det.ThetaDrift())
 	mon := &Monitor{
 		dims:       m.Config().Inputs,
 		window:     det.Config().Window,
-		thetaError: FromFloat(det.ThetaError()),
-		thetaDrift: FromFloat(det.ThetaDrift()),
+		thetaError: thetaE,
+		thetaDrift: thetaD,
 		num:        make([]int32, classes),
 	}
+	if satE {
+		mon.sat++
+	}
+	if satD {
+		mon.sat++
+	}
 	for c := 0; c < classes; c++ {
-		mon.instances = append(mon.instances, QuantizeAutoencoder(m.Instance(c)))
-		mon.trainCor = append(mon.trainCor, QuantizeVec(det.TrainedCentroid(c)))
-		mon.cor = append(mon.cor, QuantizeVec(det.RecentCentroid(c)))
+		inst := QuantizeAutoencoder(m.Instance(c))
+		mon.sat += inst.Saturations()
+		trainCor, s1 := QuantizeVecChecked(det.TrainedCentroid(c))
+		cor, s2 := QuantizeVecChecked(det.RecentCentroid(c))
+		mon.sat += s1 + s2
+		mon.instances = append(mon.instances, inst)
+		mon.trainCor = append(mon.trainCor, trainCor)
+		mon.cor = append(mon.cor, cor)
 		mon.num[c] = 1
 	}
 	return mon
 }
+
+// Saturations reports how many values (weights, centroids, thresholds)
+// clipped to the Q16.16 range while this monitor was quantised. Non-zero
+// means the float detector's state exceeded the representable ±32768 and
+// the fixed-point port is degraded; surface it via health reporting.
+func (mon *Monitor) Saturations() int { return mon.sat }
 
 // Result is the per-sample outcome of the quantised monitor.
 type Result struct {

@@ -1,0 +1,110 @@
+package fixed
+
+import (
+	"edgedrift/internal/core"
+	"edgedrift/internal/health"
+	"edgedrift/internal/oselm"
+)
+
+// ScoreBackend adapts a quantised Autoencoder to the oselm.Backend
+// scoring surface, so callers comparing precision backends can hold the
+// Q16.16 port behind the same interface as the float models. The float
+// boundary is crossed through a retained staging buffer — no per-call
+// allocation.
+type ScoreBackend struct {
+	ae *Autoencoder
+	xq []Q
+}
+
+// NewScoreBackend wraps a quantised autoencoder.
+func NewScoreBackend(ae *Autoencoder) *ScoreBackend {
+	return &ScoreBackend{ae: ae, xq: make([]Q, ae.Inputs())}
+}
+
+// Score quantises x and returns the fixed-point reconstruction error,
+// widened back to float64.
+func (s *ScoreBackend) Score(x []float64) float64 {
+	for i, v := range x {
+		s.xq[i] = FromFloat(v)
+	}
+	return s.ae.Score(s.xq).Float()
+}
+
+// Precision identifies the backend.
+func (s *ScoreBackend) Precision() oselm.Precision { return oselm.Fixed16 }
+
+// MemoryBytes audits the retained state: the quantised weights plus the
+// staging buffer.
+func (s *ScoreBackend) MemoryBytes() int {
+	const w = 4
+	a := s.ae
+	return w * (len(a.w) + len(a.bias) + len(a.beta) + len(a.h) + len(a.recon) + len(s.xq))
+}
+
+var _ oselm.Backend = (*ScoreBackend)(nil)
+
+// Stream adapts a quantised Monitor to the core.Streaming stage
+// contract, so the fleet layer can host Q16.16 members next to float
+// detectors. Input samples are quantised through a retained buffer;
+// results are widened back to float64.
+type Stream struct {
+	mon *Monitor
+	xq  []Q
+}
+
+// NewStream wraps a quantised monitor as a streaming stage.
+func NewStream(mon *Monitor) *Stream {
+	return &Stream{mon: mon, xq: make([]Q, mon.dims)}
+}
+
+// Monitor returns the wrapped fixed-point monitor.
+func (s *Stream) Monitor() *Monitor { return s.mon }
+
+// Process quantises one sample and runs the fixed-point monitor on it.
+func (s *Stream) Process(x []float64) core.Result {
+	for i, v := range x {
+		s.xq[i] = FromFloat(v)
+	}
+	r := s.mon.Process(s.xq)
+	return core.Result{
+		Label:         r.Label,
+		Score:         r.Score.Float(),
+		Phase:         s.phaseNow(),
+		DriftDetected: r.DriftDetected,
+	}
+}
+
+// phaseNow maps the monitor's state onto the detector phase vocabulary:
+// an open check window is Checking, a drift awaiting host action is
+// Reconstructing (the adaptation is in flight, just host-side in the
+// split deployment), everything else is Monitoring.
+func (s *Stream) phaseNow() core.Phase {
+	switch {
+	case s.mon.pending:
+		return core.Reconstructing
+	case s.mon.check:
+		return core.Checking
+	default:
+		return core.Monitoring
+	}
+}
+
+// MemoryBytes audits the stage's retained state.
+func (s *Stream) MemoryBytes() int {
+	return s.mon.MemoryBytes() + 4*len(s.xq)
+}
+
+// Health reports the fixed-point stage's view of itself. Integer state
+// cannot go non-finite, so PFinite is always true; the interesting
+// counter is QuantSaturations, which records how much of the float
+// model clipped when this stage was quantised.
+func (s *Stream) Health() health.Snapshot {
+	return health.Snapshot{
+		SamplesSeen:      s.mon.samples,
+		PFinite:          true,
+		QuantSaturations: uint64(s.mon.sat),
+		Phase:            s.phaseNow().String(),
+	}
+}
+
+var _ core.Streaming = (*Stream)(nil)

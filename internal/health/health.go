@@ -49,6 +49,12 @@ type Snapshot struct {
 	// A nonzero drop count means scores went non-finite at some point.
 	ScoreHistDropped uint64
 	ScoreHistTotal   int
+	// QuantSaturations counts values (weights, centroids, thresholds)
+	// that clipped to the Q16.16 range when a fixed-point stage was
+	// quantised from its float source. Only fixed-point stages report it;
+	// non-zero means the deployed integer port is a degraded image of the
+	// model it was quantised from.
+	QuantSaturations uint64
 	// Phase is the detector phase at snapshot time ("monitoring",
 	// "checking", "reconstructing").
 	Phase string
@@ -104,6 +110,7 @@ func Aggregate(members []Snapshot) Snapshot {
 		sumSq += n * (s.ScoreStd*s.ScoreStd + s.ScoreMean*s.ScoreMean)
 		agg.ScoreHistDropped += s.ScoreHistDropped
 		agg.ScoreHistTotal += s.ScoreHistTotal
+		agg.QuantSaturations += s.QuantSaturations
 		if phaseRank(s.Phase) > phaseRank(agg.Phase) {
 			agg.Phase = s.Phase
 		}
@@ -133,5 +140,10 @@ func (s Snapshot) String() string {
 		s.ModelDivergences, s.WatchdogResets, s.PTraceMax, s.PFinite)
 	fmt.Fprintf(&b, " score(n=%d mean=%.4g std=%.4g dropped=%d)",
 		s.ScoreSamples, s.ScoreMean, s.ScoreStd, s.ScoreHistDropped)
+	// Rendered only when quantisation actually clipped, so float-backend
+	// log lines keep their pinned format.
+	if s.QuantSaturations > 0 {
+		fmt.Fprintf(&b, " quant-sat=%d", s.QuantSaturations)
+	}
 	return b.String()
 }

@@ -97,3 +97,30 @@ func TestStringRendersCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestStringQuantSaturations pins the conditional rendering of the
+// quantisation counter: absent at zero — keeping the golden log line of
+// float deployments untouched — and rendered when any parameter clipped.
+func TestStringQuantSaturations(t *testing.T) {
+	s := Snapshot{SamplesSeen: 10, PFinite: true, Phase: "monitoring"}
+	if strings.Contains(s.String(), "quant-sat") {
+		t.Fatalf("zero-saturation summary mentions quant-sat: %q", s.String())
+	}
+	s.QuantSaturations = 7
+	if !strings.Contains(s.String(), "quant-sat=7") {
+		t.Fatalf("summary %q missing quant-sat=7", s.String())
+	}
+}
+
+// TestAggregateSumsQuantSaturations pins the fleet roll-up of the
+// counter across mixed-precision members.
+func TestAggregateSumsQuantSaturations(t *testing.T) {
+	agg := Aggregate([]Snapshot{
+		{PFinite: true, QuantSaturations: 3},
+		{PFinite: true},
+		{PFinite: true, QuantSaturations: 4},
+	})
+	if agg.QuantSaturations != 7 {
+		t.Fatalf("aggregate quant-sat = %d, want 7", agg.QuantSaturations)
+	}
+}

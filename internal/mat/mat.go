@@ -1,11 +1,23 @@
 // Package mat provides small, allocation-conscious dense linear algebra
 // primitives used by the OS-ELM learner and the SPLL drift detector.
 //
-// The package is deliberately minimal: row-major dense matrices of float64,
-// the handful of kernels sequential learning needs (multiply, rank-1
-// updates, symmetric inverses), and nothing else. It trades generality for
-// predictable memory behaviour, which is what the paper's resource-limited
-// setting is about: every retained buffer is visible and accountable.
+// The package is deliberately minimal: row-major dense matrices, the
+// handful of kernels sequential learning needs (multiply, rank-1
+// updates, symmetric inverses), and nothing else. It trades generality
+// for predictable memory behaviour, which is what the paper's
+// resource-limited setting is about: every retained buffer is visible
+// and accountable.
+//
+// Since the precision refactor the kernel layer is generic over the
+// element type: the same unrolled loops instantiate at float64 (the
+// training path — RLS conditioning needs the headroom) and float32
+// (the inference path on 32-bit edge targets, halving model memory and
+// kernel bandwidth). Matrix remains an alias for the float64
+// instantiation so existing callers don't churn; q16.go adds the
+// Q16.16 fixed-point kernels the FPU-less deployment shares with
+// internal/fixed. The dense solvers (Inverse, Cholesky) intentionally
+// stay float64-only: they exist for initialisation and covariance
+// conditioning, which the precision axis never moves off float64.
 package mat
 
 import (
@@ -21,35 +33,48 @@ var ErrSingular = errors.New("mat: matrix is singular to working precision")
 // ErrShape is returned when operand dimensions are incompatible.
 var ErrShape = errors.New("mat: dimension mismatch")
 
-// Matrix is a dense, row-major matrix of float64.
+// Element constrains the floating-point element types the generic
+// kernel layer instantiates at.
+type Element interface {
+	~float32 | ~float64
+}
+
+// MatrixOf is a dense, row-major matrix of E.
 //
-// The zero value is an empty matrix; use New or NewFromData to create a
-// sized one. Methods that write results take the receiver as destination
-// where practical so hot loops can reuse storage.
-type Matrix struct {
+// The zero value is an empty matrix; use New/NewOf or NewFromData to
+// create a sized one. Methods that write results take the receiver as
+// destination where practical so hot loops can reuse storage.
+type MatrixOf[E Element] struct {
 	Rows, Cols int
 	// Data holds the elements in row-major order: element (i, j) is
 	// Data[i*Cols+j]. len(Data) == Rows*Cols.
-	Data []float64
+	Data []E
 }
 
-// New returns a zeroed r×c matrix.
-func New(r, c int) *Matrix {
+// Matrix is the float64 instantiation — the historical API and the
+// element type of every training-side structure.
+type Matrix = MatrixOf[float64]
+
+// New returns a zeroed r×c float64 matrix.
+func New(r, c int) *Matrix { return NewOf[float64](r, c) }
+
+// NewOf returns a zeroed r×c matrix of E.
+func NewOf[E Element](r, c int) *MatrixOf[E] {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
 	}
-	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+	return &MatrixOf[E]{Rows: r, Cols: c, Data: make([]E, r*c)}
 }
 
 // NewFromData wraps data (not copied) as an r×c matrix.
-func NewFromData(r, c int, data []float64) *Matrix {
+func NewFromData[E Element](r, c int, data []E) *MatrixOf[E] {
 	if len(data) != r*c {
 		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
 	}
-	return &Matrix{Rows: r, Cols: c, Data: data}
+	return &MatrixOf[E]{Rows: r, Cols: c, Data: data}
 }
 
-// Identity returns the n×n identity matrix.
+// Identity returns the n×n float64 identity matrix.
 func Identity(n int) *Matrix {
 	m := New(n, n)
 	for i := 0; i < n; i++ {
@@ -59,23 +84,23 @@ func Identity(n int) *Matrix {
 }
 
 // At returns element (i, j).
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *MatrixOf[E]) At(i, j int) E { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *MatrixOf[E]) Set(i, j int, v E) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a view (not a copy) of row i.
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+func (m *MatrixOf[E]) Row(i int) []E { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	c := New(m.Rows, m.Cols)
+func (m *MatrixOf[E]) Clone() *MatrixOf[E] {
+	c := NewOf[E](m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
 }
 
 // CopyFrom copies src into m. Shapes must match.
-func (m *Matrix) CopyFrom(src *Matrix) {
+func (m *MatrixOf[E]) CopyFrom(src *MatrixOf[E]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(ErrShape)
 	}
@@ -83,14 +108,14 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // Zero sets every element of m to zero.
-func (m *Matrix) Zero() {
+func (m *MatrixOf[E]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
 }
 
 // SetIdentity overwrites m (which must be square) with the identity.
-func (m *Matrix) SetIdentity() {
+func (m *MatrixOf[E]) SetIdentity() {
 	if m.Rows != m.Cols {
 		panic(ErrShape)
 	}
@@ -101,14 +126,14 @@ func (m *Matrix) SetIdentity() {
 }
 
 // Scale multiplies every element of m by s in place.
-func (m *Matrix) Scale(s float64) {
+func (m *MatrixOf[E]) Scale(s E) {
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
 }
 
 // AddDiag adds s to every diagonal element of the square matrix m.
-func (m *Matrix) AddDiag(s float64) {
+func (m *MatrixOf[E]) AddDiag(s E) {
 	if m.Rows != m.Cols {
 		panic(ErrShape)
 	}
@@ -118,8 +143,8 @@ func (m *Matrix) AddDiag(s float64) {
 }
 
 // Transpose returns mᵀ as a new matrix.
-func (m *Matrix) Transpose() *Matrix {
-	t := New(m.Cols, m.Rows)
+func (m *MatrixOf[E]) Transpose() *MatrixOf[E] {
+	t := NewOf[E](m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
@@ -135,7 +160,7 @@ func (m *Matrix) Transpose() *Matrix {
 // The inner loop is unrolled 4-way over k so each pass touches four rows
 // of b while streaming the destination row once, quartering the number of
 // times drow is re-read from memory compared to the naive axpy loop.
-func Mul(dst, a, b *Matrix) {
+func Mul[E Element](dst, a, b *MatrixOf[E]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(ErrShape)
 	}
@@ -176,8 +201,8 @@ func Mul(dst, a, b *Matrix) {
 }
 
 // MulNew returns a·b as a freshly allocated matrix.
-func MulNew(a, b *Matrix) *Matrix {
-	dst := New(a.Rows, b.Cols)
+func MulNew[E Element](a, b *MatrixOf[E]) *MatrixOf[E] {
+	dst := NewOf[E](a.Rows, b.Cols)
 	Mul(dst, a, b)
 	return dst
 }
@@ -186,7 +211,7 @@ func MulNew(a, b *Matrix) *Matrix {
 // and b are consumed per pass so each destination row is updated with a
 // 4-term fused accumulation instead of four separate read-modify-write
 // sweeps.
-func MulTransA(dst, a, b *Matrix) {
+func MulTransA[E Element](dst, a, b *MatrixOf[E]) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(ErrShape)
 	}
@@ -228,7 +253,7 @@ func MulTransA(dst, a, b *Matrix) {
 // MulVec computes dst = m·x for a vector x (len m.Cols) into dst
 // (len m.Rows). dst must not alias x. Each row product runs through the
 // 4-accumulator dot kernel.
-func MulVec(dst []float64, m *Matrix, x []float64) {
+func MulVec[E Element](dst []E, m *MatrixOf[E], x []E) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(ErrShape)
 	}
@@ -241,7 +266,7 @@ func MulVec(dst []float64, m *Matrix, x []float64) {
 // MulVecTrans computes dst = mᵀ·x for x of length m.Rows into dst of
 // length m.Cols, without materialising mᵀ. Four matrix rows are folded
 // into dst per pass.
-func MulVecTrans(dst []float64, m *Matrix, x []float64) {
+func MulVecTrans[E Element](dst []E, m *MatrixOf[E], x []E) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic(ErrShape)
 	}
@@ -284,7 +309,7 @@ func MulVecTrans(dst []float64, m *Matrix, x []float64) {
 // cache once per block instead of once per row — the layout that makes
 // Train's H×H Sherman-Morrison update and H×D β update stream at memory
 // speed.
-func (m *Matrix) AddScaledOuter(s float64, u, v []float64) {
+func (m *MatrixOf[E]) AddScaledOuter(s E, u, v []E) {
 	if len(u) != m.Rows || len(v) != m.Cols {
 		panic(ErrShape)
 	}
@@ -322,11 +347,11 @@ func (m *Matrix) AddScaledOuter(s float64, u, v []float64) {
 }
 
 // QuadForm returns xᵀ·m·x for the square matrix m.
-func (m *Matrix) QuadForm(x []float64) float64 {
+func (m *MatrixOf[E]) QuadForm(x []E) E {
 	if m.Rows != m.Cols || len(x) != m.Rows {
 		panic(ErrShape)
 	}
-	var total float64
+	var total E
 	for i := 0; i < m.Rows; i++ {
 		total += x[i] * dotKernel(m.Row(i), x)
 	}
@@ -335,6 +360,11 @@ func (m *Matrix) QuadForm(x []float64) float64 {
 
 // Inverse computes the inverse of the square matrix a into dst using
 // Gauss-Jordan elimination with partial pivoting. dst and a may alias.
+//
+// Inverse is float64-only by design: it serves batch initialisation and
+// covariance conditioning, which stay at full precision regardless of
+// the inference element width (the pivot threshold alone would be
+// meaningless at float32).
 func Inverse(dst, a *Matrix) error {
 	if a.Rows != a.Cols || dst.Rows != dst.Cols || dst.Rows != a.Rows {
 		panic(ErrShape)
@@ -403,7 +433,8 @@ func axpyRow(m *Matrix, i, j int, f float64) {
 
 // Cholesky computes the lower-triangular Cholesky factor L of the
 // symmetric positive-definite matrix a (a = L·Lᵀ) into dst. dst and a may
-// alias. Returns ErrSingular if a is not positive definite.
+// alias. Returns ErrSingular if a is not positive definite. Float64-only,
+// like Inverse.
 func Cholesky(dst, a *Matrix) error {
 	if a.Rows != a.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
 		panic(ErrShape)
@@ -474,7 +505,7 @@ func CholeskySolveVec(dst []float64, l *Matrix, b []float64) {
 
 // RidgeGram computes dst = aᵀ·a + λ·I, the regularised Gram matrix used to
 // initialise OS-ELM and SPLL covariance estimates.
-func RidgeGram(dst, a *Matrix, lambda float64) {
+func RidgeGram[E Element](dst, a *MatrixOf[E], lambda E) {
 	if dst.Rows != a.Cols || dst.Cols != a.Cols {
 		panic(ErrShape)
 	}
@@ -484,13 +515,13 @@ func RidgeGram(dst, a *Matrix, lambda float64) {
 
 // MaxAbsDiff returns the largest absolute element-wise difference between
 // a and b; useful for approximate-equality assertions.
-func MaxAbsDiff(a, b *Matrix) float64 {
+func MaxAbsDiff[E Element](a, b *MatrixOf[E]) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(ErrShape)
 	}
 	var m float64
 	for i, v := range a.Data {
-		if d := math.Abs(v - b.Data[i]); d > m {
+		if d := math.Abs(float64(v - b.Data[i])); d > m {
 			m = d
 		}
 	}
@@ -498,22 +529,23 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 }
 
 // Trace returns the sum of the diagonal of the square matrix m.
-func (m *Matrix) Trace() float64 {
+func (m *MatrixOf[E]) Trace() float64 {
 	if m.Rows != m.Cols {
 		panic(ErrShape)
 	}
 	var s float64
 	for i := 0; i < m.Rows; i++ {
-		s += m.Data[i*m.Cols+i]
+		s += float64(m.Data[i*m.Cols+i])
 	}
 	return s
 }
 
-// FrobeniusNorm returns the Frobenius norm of m.
-func (m *Matrix) FrobeniusNorm() float64 {
+// FrobeniusNorm returns the Frobenius norm of m. The accumulation runs
+// at float64 for every element type.
+func (m *MatrixOf[E]) FrobeniusNorm() float64 {
 	var s float64
 	for _, v := range m.Data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
@@ -522,14 +554,14 @@ func (m *Matrix) FrobeniusNorm() float64 {
 // off-diagonal mismatch |m[i][j] − m[j][i]| together with the largest
 // magnitude among the compared elements, so callers can judge symmetry
 // loss relative to the matrix's own scale before deciding to repair it.
-func (m *Matrix) Asymmetry() (maxDiff, maxMag float64) {
+func (m *MatrixOf[E]) Asymmetry() (maxDiff, maxMag float64) {
 	if m.Rows != m.Cols {
 		panic(ErrShape)
 	}
 	n := m.Rows
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			a, b := m.At(i, j), m.At(j, i)
+			a, b := float64(m.At(i, j)), float64(m.At(j, i))
 			if d := math.Abs(a - b); d > maxDiff {
 				maxDiff = d
 			}
@@ -546,14 +578,14 @@ func (m *Matrix) Asymmetry() (maxDiff, maxMag float64) {
 
 // SymmetrizeInPlace replaces m with (m + mᵀ)/2, repairing the small
 // asymmetries rank-1 updates accumulate on covariance-like matrices.
-func (m *Matrix) SymmetrizeInPlace() {
+func (m *MatrixOf[E]) SymmetrizeInPlace() {
 	if m.Rows != m.Cols {
 		panic(ErrShape)
 	}
 	n := m.Rows
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			v := E(0.5) * (m.At(i, j) + m.At(j, i))
 			m.Set(i, j, v)
 			m.Set(j, i, v)
 		}
@@ -562,7 +594,7 @@ func (m *Matrix) SymmetrizeInPlace() {
 
 // String renders a small matrix for debugging; large matrices are
 // abbreviated to their shape.
-func (m *Matrix) String() string {
+func (m *MatrixOf[E]) String() string {
 	if m.Rows*m.Cols > 64 {
 		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 	}
@@ -575,7 +607,7 @@ func (m *Matrix) String() string {
 			if j > 0 {
 				s += " "
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			s += fmt.Sprintf("%.4g", float64(m.At(i, j)))
 		}
 	}
 	return s + "]"

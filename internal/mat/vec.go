@@ -3,7 +3,7 @@ package mat
 import "math"
 
 // Dot returns the inner product of a and b, which must have equal length.
-func Dot(a, b []float64) float64 {
+func Dot[E Element](a, b []E) E {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
@@ -14,8 +14,8 @@ func Dot(a, b []float64) float64 {
 // guarantee len(b) >= len(a). Independent accumulators break the
 // loop-carried dependency of the naive sum, letting the FPU pipeline
 // overlap four multiply-adds in flight.
-func dotKernel(a, b []float64) float64 {
-	var s0, s1, s2, s3 float64
+func dotKernel[E Element](a, b []E) E {
+	var s0, s1, s2, s3 E
 	n := len(a)
 	n4 := n &^ 3
 	var i int
@@ -32,7 +32,7 @@ func dotKernel(a, b []float64) float64 {
 }
 
 // AxpyVec performs y ← y + s·x element-wise.
-func AxpyVec(y []float64, s float64, x []float64) {
+func AxpyVec[E Element](y []E, s E, x []E) {
 	if len(x) != len(y) {
 		panic(ErrShape)
 	}
@@ -42,14 +42,14 @@ func AxpyVec(y []float64, s float64, x []float64) {
 }
 
 // ScaleVec multiplies x by s in place.
-func ScaleVec(x []float64, s float64) {
+func ScaleVec[E Element](x []E, s E) {
 	for i := range x {
 		x[i] *= s
 	}
 }
 
 // SubVec computes dst = a − b element-wise. dst may alias a or b.
-func SubVec(dst, a, b []float64) {
+func SubVec[E Element](dst, a, b []E) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic(ErrShape)
 	}
@@ -59,7 +59,7 @@ func SubVec(dst, a, b []float64) {
 }
 
 // AddVec computes dst = a + b element-wise. dst may alias a or b.
-func AddVec(dst, a, b []float64) {
+func AddVec[E Element](dst, a, b []E) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic(ErrShape)
 	}
@@ -69,29 +69,30 @@ func AddVec(dst, a, b []float64) {
 }
 
 // L1Dist returns the Manhattan distance Σ|aᵢ−bᵢ| — the metric Algorithm 1
-// of the paper uses for centroid drift (line 14).
-func L1Dist(a, b []float64) float64 {
+// of the paper uses for centroid drift (line 14). The accumulation runs
+// in the element type; the scalar result is returned at float64.
+func L1Dist[E Element](a, b []E) float64 {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
-	var s float64
+	var s E
 	for i, v := range a {
-		s += math.Abs(v - b[i])
+		s += E(math.Abs(float64(v - b[i])))
 	}
-	return s
+	return float64(s)
 }
 
 // L2Dist returns the Euclidean distance between a and b.
-func L2Dist(a, b []float64) float64 {
-	return math.Sqrt(SqDist(a, b))
+func L2Dist[E Element](a, b []E) float64 {
+	return math.Sqrt(float64(SqDist(a, b)))
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
-func SqDist(a, b []float64) float64 {
+func SqDist[E Element](a, b []E) E {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
-	var s float64
+	var s E
 	for i, v := range a {
 		d := v - b[i]
 		s += d * d
@@ -100,17 +101,17 @@ func SqDist(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of x.
-func Norm2(x []float64) float64 {
-	var s float64
+func Norm2[E Element](x []E) float64 {
+	var s E
 	for _, v := range x {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	return math.Sqrt(float64(s))
 }
 
 // MeanVec computes the element-wise mean of rows into dst (len = row
 // length). rows must be non-empty and rectangular.
-func MeanVec(dst []float64, rows [][]float64) {
+func MeanVec[E Element](dst []E, rows [][]E) {
 	if len(rows) == 0 {
 		panic("mat: MeanVec of empty set")
 	}
@@ -125,7 +126,7 @@ func MeanVec(dst []float64, rows [][]float64) {
 			dst[i] += v
 		}
 	}
-	inv := 1 / float64(len(rows))
+	inv := 1 / E(len(rows))
 	for i := range dst {
 		dst[i] *= inv
 	}
@@ -136,11 +137,11 @@ func MeanVec(dst []float64, rows [][]float64) {
 // update of Algorithm 1 line 12 and Algorithm 4 line 3:
 //
 //	mean ← (mean·n + x) / (n + 1)
-func RunningMeanUpdate(mean []float64, n int, x []float64) int {
+func RunningMeanUpdate[E Element](mean []E, n int, x []E) int {
 	if len(mean) != len(x) {
 		panic(ErrShape)
 	}
-	fn := float64(n)
+	fn := E(n)
 	inv := 1 / (fn + 1)
 	for i, v := range x {
 		mean[i] = (mean[i]*fn + v) * inv
@@ -151,7 +152,7 @@ func RunningMeanUpdate(mean []float64, n int, x []float64) int {
 // EWMAUpdate folds x into mean with weight gamma on the new sample:
 // mean ← (1−γ)·mean + γ·x. This implements the paper's remark that recent
 // test centroids may weight newer samples more heavily.
-func EWMAUpdate(mean []float64, gamma float64, x []float64) {
+func EWMAUpdate[E Element](mean []E, gamma E, x []E) {
 	if len(mean) != len(x) {
 		panic(ErrShape)
 	}
@@ -163,7 +164,7 @@ func EWMAUpdate(mean []float64, gamma float64, x []float64) {
 
 // ArgMin returns the index of the smallest value in xs, breaking ties in
 // favour of the lowest index. It panics on an empty slice.
-func ArgMin(xs []float64) int {
+func ArgMin[E Element](xs []E) int {
 	if len(xs) == 0 {
 		panic("mat: ArgMin of empty slice")
 	}
@@ -178,7 +179,7 @@ func ArgMin(xs []float64) int {
 
 // ArgMax returns the index of the largest value in xs, breaking ties in
 // favour of the lowest index. It panics on an empty slice.
-func ArgMax(xs []float64) int {
+func ArgMax[E Element](xs []E) int {
 	if len(xs) == 0 {
 		panic("mat: ArgMax of empty slice")
 	}
@@ -195,8 +196,8 @@ func ArgMax(xs []float64) int {
 // compiles to one subtract and one add per element: v−v is 0 for every
 // finite v and NaN for ±Inf and NaN, so the accumulator ends non-zero
 // (NaN) exactly when a non-finite element is present.
-func AllFinite(x []float64) bool {
-	var acc float64
+func AllFinite[E Element](x []E) bool {
+	var acc E
 	for _, v := range x {
 		acc += v - v
 	}
@@ -204,8 +205,20 @@ func AllFinite(x []float64) bool {
 }
 
 // CopyVec returns a copy of x.
-func CopyVec(x []float64) []float64 {
-	c := make([]float64, len(x))
+func CopyVec[E Element](x []E) []E {
+	c := make([]E, len(x))
 	copy(c, x)
 	return c
+}
+
+// ConvertVec copies src into dst element-by-element across element
+// types — the precision boundary the mixed-precision training path
+// crosses each sample. dst and src must have equal length.
+func ConvertVec[D, S Element](dst []D, src []S) {
+	if len(dst) != len(src) {
+		panic(ErrShape)
+	}
+	for i, v := range src {
+		dst[i] = D(v)
+	}
 }

@@ -140,7 +140,7 @@ func TestArgMinPanicsOnEmpty(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	ArgMin(nil)
+	ArgMin[float64](nil)
 }
 
 func TestCopyVec(t *testing.T) {

@@ -44,6 +44,9 @@ type Config struct {
 	Ridge float64
 	// WeightScale bounds the random projections (0 → 1).
 	WeightScale float64
+	// Precision selects the numeric backend every instance computes its
+	// inference-side state at (default Float64; see oselm.Config).
+	Precision oselm.Precision
 }
 
 // Multi is the concrete multi-instance autoencoder model.
@@ -88,6 +91,7 @@ func New(cfg Config, r *rng.Rand) (*Multi, error) {
 			Forgetting:  cfg.Forgetting,
 			Ridge:       cfg.Ridge,
 			WeightScale: cfg.WeightScale,
+			Precision:   cfg.Precision,
 		}, cfg.Metric, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("model: instance %d: %w", i, err)
@@ -221,10 +225,15 @@ func (m *Multi) Health() oselm.Health {
 	return agg
 }
 
+// Precision returns the numeric backend the instances compute at.
+func (m *Multi) Precision() oselm.Precision { return m.cfg.Precision }
+
 // MemoryBytes reports the retained bytes across all instances plus the
-// score buffer.
+// score buffer. The score buffer holds one scalar per class at the
+// backend's element width (the float64 slice here is its widened image
+// on reduced-precision backends).
 func (m *Multi) MemoryBytes() int {
-	total := 8 * len(m.scores)
+	total := m.cfg.Precision.Bytes() * len(m.scores)
 	for _, ae := range m.instances {
 		total += ae.MemoryBytes()
 	}

@@ -115,6 +115,7 @@ func loadBody(r io.Reader) (*Multi, error) {
 		Forgetting:  c0.Forgetting,
 		Ridge:       c0.Ridge,
 		WeightScale: c0.WeightScale,
+		Precision:   c0.Precision,
 	}
 	// Restore the fields New derives, so SetParallelism works on a
 	// loaded model exactly as on a constructed one.

@@ -114,7 +114,14 @@ func (a *Autoencoder) SetOps(c *opcount.Counter) { a.model.SetOps(c) }
 // SamplesSeen reports sequential samples since creation or Reset.
 func (a *Autoencoder) SamplesSeen() int { return a.model.SamplesSeen() }
 
-// MemoryBytes reports retained state including the reconstruction buffer.
+// Precision returns the compute precision of the underlying model.
+func (a *Autoencoder) Precision() Precision { return a.model.cfg.Precision }
+
+// MemoryBytes reports retained state including the reconstruction
+// buffer, which is counted at the backend's element width: on the
+// float32 backend the model already retains the width-matched
+// reconstruction (its o32 staging buffer), so the float64 recon here is
+// the widened image of state counted once.
 func (a *Autoencoder) MemoryBytes() int {
-	return a.model.MemoryBytes() + 8*len(a.recon)
+	return a.model.MemoryBytes() + a.model.cfg.Precision.Bytes()*len(a.recon)
 }

@@ -1,0 +1,21 @@
+package oselm
+
+// Backend is the scoring surface a precision backend exposes: the
+// float backends (this package's Autoencoder at Float64 or Float32)
+// and the Q16.16 fixed-point backend (internal/fixed's ScoreBackend)
+// all satisfy it, so callers can hold "an anomaly scorer at some
+// precision" without caring which numeric core is underneath.
+//
+// Score accepts and returns float64 regardless of backend — the stream
+// arrives as float64 and the detector thresholds at float64; each
+// backend crosses the precision boundary internally.
+type Backend interface {
+	// Score returns the reconstruction-error anomaly score of x.
+	Score(x []float64) float64
+	// Precision identifies the numeric backend.
+	Precision() Precision
+	// MemoryBytes reports the backend's retained state.
+	MemoryBytes() int
+}
+
+var _ Backend = (*Autoencoder)(nil)

@@ -77,6 +77,14 @@ type Config struct {
 	// WeightScale bounds the uniform draw for W and b, [−s, s]. Zero
 	// means 1.
 	WeightScale float64
+	// Precision selects the numeric backend for the inference-side state
+	// (W, b, β and the activation buffers). Float64 — the zero value — is
+	// the historical full-precision path; Float32 halves the inference
+	// footprint while the RLS recursion keeps P and its scratch at
+	// float64 for conditioning, crossing the precision boundary once per
+	// sample. Fixed16 is inference-only and rejected here: train at a
+	// float precision and quantise via internal/fixed.
+	Precision Precision
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -98,6 +106,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WeightScale == 0 {
 		c.WeightScale = 1
 	}
+	switch c.Precision {
+	case Float64, Float32:
+	case Fixed16:
+		return c, errors.New("oselm: Fixed16 is inference-only; train at f64 or f32 and quantise via internal/fixed")
+	default:
+		return c, fmt.Errorf("oselm: unknown precision %v", c.Precision)
+	}
 	return c, nil
 }
 
@@ -105,13 +120,28 @@ func (c Config) withDefaults() (Config, error) {
 type Model struct {
 	cfg Config
 
-	w    *mat.Matrix // Hidden×Inputs random input weights
-	bias []float64   // Hidden biases
-	beta *mat.Matrix // Hidden×Outputs learned output weights
-	p    *mat.Matrix // Hidden×Hidden inverse-covariance state
+	w    *mat.Matrix // Hidden×Inputs random input weights (Float64 backend)
+	bias []float64   // Hidden biases (Float64 backend)
+	beta *mat.Matrix // Hidden×Outputs learned output weights (Float64 backend)
+	p    *mat.Matrix // Hidden×Hidden inverse-covariance state (always float64)
+
+	// Float32 backend state. When cfg.Precision == Float32 the model owns
+	// its inference-side parameters at float32 and the float64 twins above
+	// (w, bias, beta) are nil; P and the RLS scratch stay float64 so the
+	// Sherman-Morrison recursion keeps its conditioning. The staging
+	// buffers carry values across the precision boundary each sample
+	// without allocating.
+	w32    *mat.MatrixOf[float32] // Hidden×Inputs random input weights
+	bias32 []float32              // Hidden biases
+	beta32 *mat.MatrixOf[float32] // Hidden×Outputs learned output weights
+	h32    []float32              // hidden activations
+	x32    []float32              // input narrowed to float32
+	o32    []float32              // forward output βᵀ·h
+	u32    []float32              // RLS gain P·h narrowed to float32
+	e32    []float32              // residual narrowed to float32
 
 	// scratch buffers reused across calls
-	h     []float64 // hidden activations
+	h     []float64 // hidden activations (float64 image on the f32 path)
 	ph    []float64 // P·h
 	e     []float64 // residual tᵀ − hᵀβ
 	ops   *opcount.Counter
@@ -147,21 +177,53 @@ func New(cfg Config, r *rng.Rand) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{
-		cfg:  c,
-		w:    mat.New(c.Hidden, c.Inputs),
-		bias: make([]float64, c.Hidden),
-		beta: mat.New(c.Hidden, c.Outputs),
-		p:    mat.New(c.Hidden, c.Hidden),
-		h:    make([]float64, c.Hidden),
-		ph:   make([]float64, c.Hidden),
-		e:    make([]float64, c.Outputs),
+	m := alloc(c)
+	if m.w32 != nil {
+		// Draw the projection at float64 from the same RNG stream as the
+		// full-precision backend and narrow, so an f32 model with a given
+		// seed is the rounded image of the f64 model with that seed —
+		// which is what makes cross-precision parity tests meaningful.
+		wd := make([]float64, len(m.w32.Data))
+		bd := make([]float64, len(m.bias32))
+		r.FillUniform(wd, -c.WeightScale, c.WeightScale)
+		r.FillUniform(bd, -c.WeightScale, c.WeightScale)
+		mat.ConvertVec(m.w32.Data, wd)
+		mat.ConvertVec(m.bias32, bd)
+	} else {
+		r.FillUniform(m.w.Data, -c.WeightScale, c.WeightScale)
+		r.FillUniform(m.bias, -c.WeightScale, c.WeightScale)
 	}
-	r.FillUniform(m.w.Data, -c.WeightScale, c.WeightScale)
-	r.FillUniform(m.bias, -c.WeightScale, c.WeightScale)
-	m.initWatchdog()
 	m.resetState()
 	return m, nil
+}
+
+// alloc builds a model with the backend state the configuration's
+// precision selects, leaving weights unset. P, the RLS scratch and the
+// float64 activation image are allocated for every backend.
+func alloc(c Config) *Model {
+	m := &Model{
+		cfg: c,
+		p:   mat.New(c.Hidden, c.Hidden),
+		h:   make([]float64, c.Hidden),
+		ph:  make([]float64, c.Hidden),
+		e:   make([]float64, c.Outputs),
+	}
+	if c.Precision == Float32 {
+		m.w32 = mat.NewOf[float32](c.Hidden, c.Inputs)
+		m.bias32 = make([]float32, c.Hidden)
+		m.beta32 = mat.NewOf[float32](c.Hidden, c.Outputs)
+		m.h32 = make([]float32, c.Hidden)
+		m.x32 = make([]float32, c.Inputs)
+		m.o32 = make([]float32, c.Outputs)
+		m.u32 = make([]float32, c.Hidden)
+		m.e32 = make([]float32, c.Outputs)
+	} else {
+		m.w = mat.New(c.Hidden, c.Inputs)
+		m.bias = make([]float64, c.Hidden)
+		m.beta = mat.New(c.Hidden, c.Outputs)
+	}
+	m.initWatchdog()
+	return m
 }
 
 // initWatchdog sets the watchdog defaults from the configuration.
@@ -192,7 +254,7 @@ func (m *Model) initWatchdog() {
 // resetState restores the sequential-learning start state, keeping the
 // random projection.
 func (m *Model) resetState() {
-	m.beta.Zero()
+	m.zeroBeta()
 	m.p.Zero()
 	m.p.AddDiag(1 / m.cfg.Ridge)
 	m.inits = 0
@@ -205,8 +267,29 @@ func (m *Model) resetState() {
 // restarts.
 func (m *Model) Reset() { m.resetState() }
 
+// zeroBeta clears the learned output weights on whichever backend owns
+// them.
+func (m *Model) zeroBeta() {
+	if m.beta32 != nil {
+		m.beta32.Zero()
+		return
+	}
+	m.beta.Zero()
+}
+
+// betaFinite reports whether every learned output weight is finite.
+func (m *Model) betaFinite() bool {
+	if m.beta32 != nil {
+		return mat.AllFinite(m.beta32.Data)
+	}
+	return mat.AllFinite(m.beta.Data)
+}
+
 // Config returns the (defaulted) configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// Precision returns the compute precision of the inference-side state.
+func (m *Model) Precision() Precision { return m.cfg.Precision }
 
 // SamplesSeen returns the number of sequential training samples folded in
 // since creation or the last Reset.
@@ -215,29 +298,55 @@ func (m *Model) SamplesSeen() int { return m.inits }
 // SetOps attaches an operation counter (nil detaches).
 func (m *Model) SetOps(c *opcount.Counter) { m.ops = c }
 
-// hiddenInto computes the hidden activation vector for x into dst.
-func (m *Model) hiddenInto(dst, x []float64) {
-	if len(x) != m.cfg.Inputs {
-		panic(fmt.Sprintf("oselm: input dimension %d, want %d", len(x), m.cfg.Inputs))
-	}
-	mat.MulVec(dst, m.w, x)
-	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Inputs)
+// hiddenKernel computes the hidden activation vector g(W·x + b) into
+// dst at the element type E — the one forward kernel every float
+// backend instantiates. At E = float64 the conversions are identity
+// operations, so the float64 path is bit-for-bit the historical one.
+func hiddenKernel[E mat.Element](dst []E, w *mat.MatrixOf[E], bias, x []E, act Activation) {
+	mat.MulVec(dst, w, x)
 	for i := range dst {
-		z := dst[i] + m.bias[i]
-		switch m.cfg.Activation {
+		z := dst[i] + bias[i]
+		switch act {
 		case Sigmoid:
-			dst[i] = 1 / (1 + math.Exp(-z))
+			dst[i] = E(1 / (1 + math.Exp(float64(-z))))
 		case Tanh:
-			dst[i] = math.Tanh(z)
+			dst[i] = E(math.Tanh(float64(z)))
 		case Linear:
 			dst[i] = z
 		}
 	}
+}
+
+// opsHidden charges the operation counter for one hidden-layer pass;
+// the count is precision-independent.
+func (m *Model) opsHidden() {
+	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Inputs)
 	m.ops.AddAdd(m.cfg.Hidden)
 	if m.cfg.Activation != Linear {
 		m.ops.AddExp(m.cfg.Hidden)
 		m.ops.AddDiv(m.cfg.Hidden)
 	}
+}
+
+// hiddenInto computes the hidden activation vector for x into dst
+// (Float64 backend).
+func (m *Model) hiddenInto(dst, x []float64) {
+	if len(x) != m.cfg.Inputs {
+		panic(fmt.Sprintf("oselm: input dimension %d, want %d", len(x), m.cfg.Inputs))
+	}
+	hiddenKernel(dst, m.w, m.bias, x, m.cfg.Activation)
+	m.opsHidden()
+}
+
+// hidden32 narrows x into the staging buffer and computes the hidden
+// activations into h32 (Float32 backend).
+func (m *Model) hidden32(x []float64) {
+	if len(x) != m.cfg.Inputs {
+		panic(fmt.Sprintf("oselm: input dimension %d, want %d", len(x), m.cfg.Inputs))
+	}
+	mat.ConvertVec(m.x32, x)
+	hiddenKernel(m.h32, m.w32, m.bias32, m.x32, m.cfg.Activation)
+	m.opsHidden()
 }
 
 // Predict writes the network output for x into dst (len Outputs) and
@@ -248,6 +357,13 @@ func (m *Model) Predict(dst, x []float64) []float64 {
 	}
 	if len(dst) != m.cfg.Outputs {
 		panic("oselm: bad output buffer length")
+	}
+	if m.w32 != nil {
+		m.hidden32(x)
+		mat.MulVecTrans(m.o32, m.beta32, m.h32)
+		m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+		mat.ConvertVec(dst, m.o32)
+		return dst
 	}
 	m.hiddenInto(m.h, x)
 	mat.MulVecTrans(dst, m.beta, m.h)
@@ -262,7 +378,14 @@ func (m *Model) Train(x, t []float64) {
 		panic(fmt.Sprintf("oselm: target dimension %d, want %d", len(t), m.cfg.Outputs))
 	}
 	h := m.h
-	m.hiddenInto(h, x)
+	if m.w32 != nil {
+		// Forward pass at float32; widen the activations once so the
+		// Sherman-Morrison recursion below runs untouched at float64.
+		m.hidden32(x)
+		mat.ConvertVec(h, m.h32)
+	} else {
+		m.hiddenInto(h, x)
+	}
 
 	// ph = P·h
 	mat.MulVec(m.ph, m.p, h)
@@ -295,18 +418,35 @@ func (m *Model) Train(x, t []float64) {
 	}
 
 	// e = t − βᵀh (residual against the *pre-update* β, using post-update
-	// P per the OS-ELM recursion: β ← β + P·h·eᵀ).
-	mat.MulVecTrans(m.e, m.beta, h)
-	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
-	for i := range m.e {
-		m.e[i] = t[i] - m.e[i]
+	// P per the OS-ELM recursion: β ← β + P·h·eᵀ). On the float32 backend
+	// the forward product runs at the precision β actually lives at, so
+	// the residual measures — and therefore corrects — the rounded
+	// model's real error rather than an idealised float64 shadow's.
+	if m.beta32 != nil {
+		mat.MulVecTrans(m.o32, m.beta32, m.h32)
+		m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+		for i := range m.e {
+			m.e[i] = t[i] - float64(m.o32[i])
+		}
+	} else {
+		mat.MulVecTrans(m.e, m.beta, h)
+		m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
+		for i := range m.e {
+			m.e[i] = t[i] - m.e[i]
+		}
 	}
 	m.ops.AddAdd(m.cfg.Outputs)
 
 	// gain k = P·h (with the updated P).
 	mat.MulVec(m.ph, m.p, h)
 	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Hidden)
-	m.beta.AddScaledOuter(1, m.ph, m.e)
+	if m.beta32 != nil {
+		mat.ConvertVec(m.u32, m.ph)
+		mat.ConvertVec(m.e32, m.e)
+		m.beta32.AddScaledOuter(1, m.u32, m.e32)
+	} else {
+		m.beta.AddScaledOuter(1, m.ph, m.e)
+	}
 	m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
 
 	m.inits++
@@ -338,7 +478,7 @@ func (m *Model) HealthNow() Health {
 	return Health{
 		PTrace:         m.p.Trace(),
 		PFinite:        mat.AllFinite(m.p.Data),
-		BetaFinite:     mat.AllFinite(m.beta.Data),
+		BetaFinite:     m.betaFinite(),
 		WatchdogResets: m.wdResets,
 	}
 }
@@ -388,8 +528,8 @@ func (m *Model) watchdog() {
 func (m *Model) repairDivergence() {
 	m.p.Zero()
 	m.p.AddDiag(1 / m.cfg.Ridge)
-	if !mat.AllFinite(m.beta.Data) {
-		m.beta.Zero()
+	if !m.betaFinite() {
+		m.zeroBeta()
 	}
 	m.wdCount = 0
 	m.wdResets++
@@ -407,7 +547,12 @@ func (m *Model) InitTrainBatch(xs, ts [][]float64) error {
 	hm := mat.New(n, m.cfg.Hidden)
 	tm := mat.New(n, m.cfg.Outputs)
 	for i, x := range xs {
-		m.hiddenInto(hm.Row(i), x)
+		if m.w32 != nil {
+			m.hidden32(x)
+			mat.ConvertVec(hm.Row(i), m.h32)
+		} else {
+			m.hiddenInto(hm.Row(i), x)
+		}
 		t := ts[i]
 		if len(t) != m.cfg.Outputs {
 			return fmt.Errorf("oselm: target %d has dimension %d, want %d", i, len(t), m.cfg.Outputs)
@@ -421,29 +566,75 @@ func (m *Model) InitTrainBatch(xs, ts [][]float64) error {
 	}
 	ht := mat.New(m.cfg.Hidden, m.cfg.Outputs)
 	mat.MulTransA(ht, hm, tm)
-	mat.Mul(m.beta, m.p, ht)
+	if m.beta32 != nil {
+		// Solve at float64 and narrow once — batch init is a host-side
+		// path, so the conditioning of the normal equations wins over
+		// keeping every intermediate at the deployment width.
+		tmp := mat.New(m.cfg.Hidden, m.cfg.Outputs)
+		mat.Mul(tmp, m.p, ht)
+		mat.ConvertVec(m.beta32.Data, tmp.Data)
+	} else {
+		mat.Mul(m.beta, m.p, ht)
+	}
 	m.inits = n
 	return nil
 }
 
-// Beta returns a deep copy of the learned output weights, mainly for
-// tests and serialisation.
-func (m *Model) Beta() *mat.Matrix { return m.beta.Clone() }
+// Beta returns a deep copy of the learned output weights at float64,
+// mainly for tests and serialisation.
+func (m *Model) Beta() *mat.Matrix {
+	if m.beta32 != nil {
+		b := mat.New(m.beta32.Rows, m.beta32.Cols)
+		mat.ConvertVec(b.Data, m.beta32.Data)
+		return b
+	}
+	return m.beta.Clone()
+}
 
-// Weights returns views of the raw parameters — input weights W
+// Weights returns the raw parameters at float64 — input weights W
 // (row-major Hidden×Inputs), biases, and output weights β (row-major
-// Hidden×Outputs) — for quantisation and export. Callers must not
-// mutate them.
+// Hidden×Outputs) — for quantisation and export. The float64 backend
+// returns live views the caller must not mutate; the float32 backend
+// returns widened copies.
 func (m *Model) Weights() (w, bias, beta []float64) {
+	if m.w32 != nil {
+		w = make([]float64, len(m.w32.Data))
+		bias = make([]float64, len(m.bias32))
+		beta = make([]float64, len(m.beta32.Data))
+		mat.ConvertVec(w, m.w32.Data)
+		mat.ConvertVec(bias, m.bias32)
+		mat.ConvertVec(beta, m.beta32.Data)
+		return w, bias, beta
+	}
 	return m.w.Data, m.bias, m.beta.Data
 }
 
 // MemoryBytes reports the number of bytes of persistent state the model
-// retains (the quantity audited in the paper's Table 4). Scratch buffers
-// are included since a deployed implementation must also hold them.
+// retains (the quantity audited in the paper's Table 4), derived from
+// the backend's element width. Scratch and staging buffers are included
+// since a deployed implementation must also hold them; P and the RLS
+// scratch are counted at float64 on every backend because that is where
+// they live (see Config.Precision).
 func (m *Model) MemoryBytes() int {
-	const f = 8 // float64
-	persistent := len(m.w.Data) + len(m.bias) + len(m.beta.Data) + len(m.p.Data)
-	scratch := len(m.h) + len(m.ph) + len(m.e)
-	return f * (persistent + scratch)
+	const f64 = 8
+	training := f64 * (len(m.p.Data) + len(m.h) + len(m.ph) + len(m.e))
+	es := m.cfg.Precision.Bytes()
+	if m.w32 != nil {
+		return training + es*(len(m.w32.Data)+len(m.bias32)+len(m.beta32.Data)+
+			len(m.h32)+len(m.x32)+len(m.o32)+len(m.u32)+len(m.e32))
+	}
+	return training + es*(len(m.w.Data)+len(m.bias)+len(m.beta.Data))
+}
+
+// InferenceBytes reports the bytes of inference-side state alone — the
+// projection, biases, output weights and activation buffer. This is the
+// footprint a deploy-only port carries (the RLS training state stays
+// host-side) and it scales directly with the element width: float32 is
+// exactly half of float64 at equal shape.
+func (m *Model) InferenceBytes() int {
+	es := m.cfg.Precision.Bytes()
+	if m.w32 != nil {
+		return es * (len(m.w32.Data) + len(m.bias32) + len(m.beta32.Data) + len(m.h32))
+	}
+	return es * (len(m.w.Data) + len(m.bias) + len(m.beta.Data) + len(m.h))
 }

@@ -91,21 +91,21 @@ func TestWatchdogSymmetrizeKeepsHealthyStateFinite(t *testing.T) {
 	}
 }
 
-// v1FromV2 converts a single checksummed v2 artifact into the legacy v1
-// layout: same payload, version byte '1', no CRC footer. (The v2 format
-// deliberately kept the payload identical so the old parser still
-// applies.)
-func v1FromV2(t *testing.T, b []byte) []byte {
+// v1FromV3 converts a single checksummed v3 artifact into the legacy v1
+// layout: version byte '1', the compute-precision byte (offset 7, a v3
+// addition) removed, and no CRC footer. (The formats deliberately kept
+// the rest of the payload identical so the old parser still applies.)
+func v1FromV3(t *testing.T, b []byte) []byte {
 	t.Helper()
-	if len(b) < 10 {
+	if len(b) < 12 {
 		t.Fatalf("artifact too short: %d bytes", len(b))
 	}
 	out := append([]byte(nil), b[:len(b)-4]...)
-	if out[5] != '2' {
+	if out[5] != '3' {
 		t.Fatalf("unexpected version byte %q", out[5])
 	}
 	out[5] = '1'
-	return out
+	return append(out[:7], out[8:]...)
 }
 
 func TestLoadV1LegacyArtifact(t *testing.T) {
@@ -114,7 +114,7 @@ func TestLoadV1LegacyArtifact(t *testing.T) {
 	if _, err := m.Save(&buf, Float64); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(bytes.NewReader(v1FromV2(t, buf.Bytes())))
+	got, err := Load(bytes.NewReader(v1FromV3(t, buf.Bytes())))
 	if err != nil {
 		t.Fatalf("v1 artifact failed to load: %v", err)
 	}
@@ -188,7 +188,7 @@ func FuzzLoad(f *testing.F) {
 	full := buf.Bytes()
 	f.Add(full)
 	f.Add(full[:len(full)/2])
-	f.Add(v1FromV2FuzzSeed(full))
+	f.Add(v1FromV3FuzzSeed(full))
 	f.Add([]byte("OSELM2"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -201,11 +201,11 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-func v1FromV2FuzzSeed(b []byte) []byte {
-	if len(b) < 10 || b[5] != '2' {
+func v1FromV3FuzzSeed(b []byte) []byte {
+	if len(b) < 12 || b[5] != '3' {
 		return b
 	}
 	out := append([]byte(nil), b[:len(b)-4]...)
 	out[5] = '1'
-	return out
+	return append(out[:7], out[8:]...)
 }

@@ -11,25 +11,75 @@ import (
 	"edgedrift/internal/mat"
 )
 
-// Precision selects the on-wire float width for saved models.
+// Precision identifies a numeric backend: the element width model
+// state is stored and — since the precision refactor — computed at.
+// It doubles as the on-wire float width for saved models.
 type Precision byte
 
 const (
-	// Float64 round-trips the model exactly.
+	// Float64 is the full-precision backend (and exact round-trip wire
+	// format), the historical default.
 	Float64 Precision = 0
-	// Float32 halves the artifact size for microcontroller deployment at
-	// the cost of ~7 decimal digits; the paper's Pico port stores its
-	// weights this way.
+	// Float32 halves weight memory and artifact size for 32-bit edge
+	// deployment at the cost of ~7 decimal digits; the paper's Pico port
+	// stores its weights this way. As a compute precision it applies to
+	// the inference-side state only — RLS training keeps P at float64.
 	Float32 Precision = 1
+	// Fixed16 is the Q16.16 fixed-point backend (internal/fixed) for
+	// FPU-less targets. It is inference-only: models are built by
+	// quantising a trained float model, never trained at this width, and
+	// it is not a wire format.
+	Fixed16 Precision = 2
 )
 
-// magicV1 and magicV2 identify serialised OS-ELM models. The payloads
-// are identical; v2 appends a CRC32 footer (see internal/ckpt) so
-// corruption fails loudly at load time. Save writes v2; Load accepts
-// both.
+// Bytes returns the element width in bytes.
+func (p Precision) Bytes() int {
+	if p == Float64 {
+		return 8
+	}
+	return 4 // Float32 and Fixed16 are both 32-bit words
+}
+
+// String implements fmt.Stringer with the spellings the driftbench
+// -precision flag accepts.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "f64"
+	case Float32:
+		return "f32"
+	case Fixed16:
+		return "q16"
+	default:
+		return fmt.Sprintf("Precision(%d)", byte(p))
+	}
+}
+
+// ParsePrecision maps the driftbench flag spellings back to a
+// Precision, listing the valid set in the error so callers can surface
+// it verbatim as a usage message.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64":
+		return Float64, nil
+	case "f32", "float32":
+		return Float32, nil
+	case "q16", "fixed16":
+		return Fixed16, nil
+	}
+	return 0, fmt.Errorf("unknown precision %q (valid: f64, f32, q16)", s)
+}
+
+// magicV1..magicV3 identify serialised OS-ELM models. v2 appends a
+// CRC32 footer (see internal/ckpt) so corruption fails loudly at load
+// time; v3 adds a compute-precision byte after the wire-precision byte
+// so a reduced-precision model round-trips as one (v1/v2 artifacts load
+// as float64-compute, their historical behaviour). Save writes v3; Load
+// accepts all three.
 var (
 	magicV1 = [6]byte{'O', 'S', 'E', 'L', 'M', '1'}
 	magicV2 = [6]byte{'O', 'S', 'E', 'L', 'M', '2'}
+	magicV3 = [6]byte{'O', 'S', 'E', 'L', 'M', '3'}
 )
 
 // ErrBadFormat reports a stream that is not a serialised model of a
@@ -113,15 +163,19 @@ func readF64(r io.Reader) (float64, error) {
 }
 
 // Save serialises the model (random projection, learned state and
-// configuration) to w in the versioned little-endian v2 format: the
-// payload followed by a CRC32 footer. It returns the number of bytes
-// written.
+// configuration) to w in the versioned little-endian v3 format: the
+// payload followed by a CRC32 footer. prec selects the on-wire element
+// width; the model's compute precision is carried separately so a
+// float32 model reloads as one. It returns the number of bytes written.
 func (m *Model) Save(w io.Writer, prec Precision) (int64, error) {
 	cw := ckpt.NewWriter(w)
-	if _, err := cw.Write(magicV2[:]); err != nil {
+	if prec != Float64 && prec != Float32 {
+		return 0, fmt.Errorf("oselm: %v is not a wire precision (valid: f64, f32)", prec)
+	}
+	if _, err := cw.Write(magicV3[:]); err != nil {
 		return cw.N(), err
 	}
-	if _, err := cw.Write([]byte{byte(prec)}); err != nil {
+	if _, err := cw.Write([]byte{byte(prec), byte(m.cfg.Precision)}); err != nil {
 		return cw.N(), err
 	}
 	for _, v := range []uint32{
@@ -137,7 +191,7 @@ func (m *Model) Save(w io.Writer, prec Precision) (int64, error) {
 			return cw.N(), err
 		}
 	}
-	for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
+	for _, xs := range m.exportSlabs() {
 		if err := writeFloats(cw, prec, xs); err != nil {
 			return cw.N(), err
 		}
@@ -146,6 +200,23 @@ func (m *Model) Save(w io.Writer, prec Precision) (int64, error) {
 		return cw.N(), err
 	}
 	return cw.N(), nil
+}
+
+// exportSlabs returns the persistent state in serialisation order
+// (W, bias, β, P) as float64 slices. The float64 backend returns live
+// views; the float32 backend materialises converted copies — Save is an
+// export path, not a hot loop.
+func (m *Model) exportSlabs() [][]float64 {
+	if m.w32 == nil {
+		return [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data}
+	}
+	w := make([]float64, len(m.w32.Data))
+	bias := make([]float64, len(m.bias32))
+	beta := make([]float64, len(m.beta32.Data))
+	mat.ConvertVec(w, m.w32.Data)
+	mat.ConvertVec(bias, m.bias32)
+	mat.ConvertVec(beta, m.beta32.Data)
+	return [][]float64{w, bias, beta, m.p.Data}
 }
 
 // Load deserialises a model written by Save — the current checksummed v2
@@ -167,19 +238,23 @@ func loadVersioned(r io.Reader) (*Model, int, error) {
 	}
 	switch got {
 	case magicV1:
-		m, err := loadBody(r)
+		m, err := loadBody(r, 1)
 		return m, 1, err
-	case magicV2:
+	case magicV2, magicV3:
+		ver := 2
+		if got == magicV3 {
+			ver = 3
+		}
 		cr := ckpt.NewReader(r)
 		cr.Fold(got[:])
-		m, err := loadBody(cr)
+		m, err := loadBody(cr, ver)
 		if err != nil {
-			return nil, 2, badFormat(err)
+			return nil, ver, badFormat(err)
 		}
 		if err := cr.VerifyFooter(); err != nil {
-			return nil, 2, badFormat(err)
+			return nil, ver, badFormat(err)
 		}
-		return m, 2, nil
+		return m, ver, nil
 	default:
 		return nil, 0, ErrBadFormat
 	}
@@ -194,8 +269,10 @@ func badFormat(err error) error {
 	return fmt.Errorf("oselm: corrupt artifact: %w: %w", ErrBadFormat, err)
 }
 
-// loadBody parses the version-independent payload that follows the magic.
-func loadBody(r io.Reader) (*Model, error) {
+// loadBody parses the payload that follows the magic. ver 3 carries a
+// compute-precision byte after the wire-precision byte; v1/v2 artifacts
+// predate the precision axis and load as float64-compute models.
+func loadBody(r io.Reader, ver int) (*Model, error) {
 	var precByte [1]byte
 	if _, err := io.ReadFull(r, precByte[:]); err != nil {
 		return nil, err
@@ -203,6 +280,17 @@ func loadBody(r io.Reader) (*Model, error) {
 	prec := Precision(precByte[0])
 	if prec != Float64 && prec != Float32 {
 		return nil, ErrBadFormat
+	}
+	compute := Float64
+	if ver >= 3 {
+		var computeByte [1]byte
+		if _, err := io.ReadFull(r, computeByte[:]); err != nil {
+			return nil, err
+		}
+		compute = Precision(computeByte[0])
+		if compute != Float64 && compute != Float32 {
+			return nil, ErrBadFormat
+		}
 	}
 	var u [5]uint32
 	for i := range u {
@@ -228,6 +316,7 @@ func loadBody(r io.Reader) (*Model, error) {
 		Forgetting:  f[0],
 		Ridge:       f[1],
 		WeightScale: f[2],
+		Precision:   compute,
 	}
 	if err := checkLoadDims(cfg); err != nil {
 		return nil, err
@@ -237,8 +326,23 @@ func loadBody(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("oselm: load config: %w", err)
 	}
 	m := newEmpty(c)
-	for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
-		if err := readFloats(r, prec, xs); err != nil {
+	if m.w32 == nil {
+		for _, xs := range [][]float64{m.w.Data, m.bias, m.beta.Data, m.p.Data} {
+			if err := readFloats(r, prec, xs); err != nil {
+				return nil, fmt.Errorf("oselm: load weights: %w", err)
+			}
+		}
+	} else {
+		// Float32 backend: stage each slab through a float64 buffer, then
+		// narrow into the owned float32 state. P stays float64.
+		for _, dst := range [][]float32{m.w32.Data, m.bias32, m.beta32.Data} {
+			buf := make([]float64, len(dst))
+			if err := readFloats(r, prec, buf); err != nil {
+				return nil, fmt.Errorf("oselm: load weights: %w", err)
+			}
+			mat.ConvertVec(dst, buf)
+		}
+		if err := readFloats(r, prec, m.p.Data); err != nil {
 			return nil, fmt.Errorf("oselm: load weights: %w", err)
 		}
 	}
@@ -265,20 +369,10 @@ func checkLoadDims(c Config) error {
 }
 
 // newEmpty allocates a model without drawing random weights (they will
-// be overwritten by a load).
+// be overwritten by a load). The configuration's compute precision
+// decides which backend's state gets allocated.
 func newEmpty(c Config) *Model {
-	m := &Model{
-		cfg:  c,
-		w:    mat.New(c.Hidden, c.Inputs),
-		bias: make([]float64, c.Hidden),
-		beta: mat.New(c.Hidden, c.Outputs),
-		p:    mat.New(c.Hidden, c.Hidden),
-		h:    make([]float64, c.Hidden),
-		ph:   make([]float64, c.Hidden),
-		e:    make([]float64, c.Outputs),
-	}
-	m.initWatchdog()
-	return m
+	return alloc(c)
 }
 
 // Save serialises an autoencoder: the score metric followed by its
@@ -315,7 +409,7 @@ func LoadAutoencoder(r io.Reader) (*Autoencoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver == 2 {
+	if ver >= 2 {
 		if err := cr.VerifyFooter(); err != nil {
 			return nil, badFormat(err)
 		}

@@ -32,11 +32,19 @@ func wrapLoadErr(stage string, err error) error {
 // microcontroller deployment artifacts.
 type Precision = oselm.Precision
 
-// Precision values.
+// Precision values. Float64 and Float32 are wire and compute
+// precisions; Fixed16 is the Q16.16 backend of Monitor.QuantizeQ16
+// (compute-only, never a wire format).
 const (
 	Float64 = oselm.Float64
 	Float32 = oselm.Float32
+	Fixed16 = oselm.Fixed16
 )
+
+// ParsePrecision maps the spellings "f64"/"float64", "f32"/"float32"
+// and "q16"/"fixed16" to a Precision, with an error naming the valid
+// set otherwise.
+func ParsePrecision(s string) (Precision, error) { return oselm.ParsePrecision(s) }
 
 // Save serialises the fitted monitor — discriminative model and detector
 // state — to w. This is the host-side half of the paper's workflow:
@@ -75,6 +83,7 @@ func LoadMonitor(r io.Reader) (*Monitor, error) {
 			Window:     det.Config().Window,
 			Forgetting: cfg.Forgetting,
 			Ridge:      cfg.Ridge,
+			Precision:  cfg.Precision,
 		},
 		model: mm,
 		det:   det,
