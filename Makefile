@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,44 @@ bench-fleet:
 	$(GO) run ./cmd/driftbench fleet -streams 8 -shards 4 -parallel 4
 
 # Numeric-backend comparison: f64/f32/q16 scoring throughput and
-# retained memory over the same replay, written as the BENCH_5 artifact.
+# retained memory over the same replay, per-sample and through the
+# batched GEMM path (batch 1/8/64), written as the BENCH_6 artifact.
 # `go test -bench=ScorePrecision .` is the benchstat-friendly twin.
 bench-precision:
-	$(GO) run ./cmd/driftbench precision -json BENCH_5.json
+	$(GO) run ./cmd/driftbench precision -json BENCH_6.json
+
+# Before/after comparison of the scoring hot path for perf PRs:
+# benchmarks the working tree against BENCH_BASE (default HEAD) with
+# -count=$(BENCH_COUNT) repetitions and diffs via benchstat. Warn-only
+# by design — a missing benchstat binary, an unbenchmarkable base, or a
+# regression all print rather than fail, because micro-benchmark noise
+# on shared CI runners must never block a merge; read the report.
+# Outputs land in $(BENCH_DIR) (bench-old.txt, bench-new.txt,
+# benchstat.txt) for artifact upload.
+BENCH_BASE ?= HEAD
+BENCH_COUNT ?= 10
+BENCH_PATTERN ?= 'BenchmarkScoreBatch|BenchmarkScorePrecision'
+BENCH_DIR ?= bench-out
+bench-compare:
+	@mkdir -p $(BENCH_DIR)
+	@$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -count=$(BENCH_COUNT) \
+		./internal/oselm/ . > $(BENCH_DIR)/bench-new.txt || \
+		{ cat $(BENCH_DIR)/bench-new.txt; echo "bench-compare: head bench failed (warn-only)"; }
+	@base=$$(mktemp -d) && \
+	if git worktree add -q $$base/tree $(BENCH_BASE) 2>/dev/null; then \
+		( cd $$base/tree && $(GO) test -run '^$$' -bench $(BENCH_PATTERN) -count=$(BENCH_COUNT) \
+			./internal/oselm/ . > $(CURDIR)/$(BENCH_DIR)/bench-old.txt ) || \
+			echo "bench-compare: base bench failed (warn-only; base may predate these benches)"; \
+		git worktree remove --force $$base/tree; \
+	else \
+		echo "bench-compare: cannot materialise base $(BENCH_BASE) (warn-only)"; \
+	fi; \
+	rm -rf $$base
+	@if command -v benchstat >/dev/null 2>&1 && [ -s $(BENCH_DIR)/bench-old.txt ]; then \
+		benchstat $(BENCH_DIR)/bench-old.txt $(BENCH_DIR)/bench-new.txt | tee $(BENCH_DIR)/benchstat.txt; \
+	else \
+		echo "benchstat unavailable or no base run; raw results in $(BENCH_DIR)/ (go install golang.org/x/perf/cmd/benchstat@latest)" | tee $(BENCH_DIR)/benchstat.txt; \
+	fi
 
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`

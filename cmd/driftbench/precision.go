@@ -9,14 +9,22 @@ import (
 
 	"edgedrift"
 	"edgedrift/internal/datasets/nslkdd"
+	"edgedrift/internal/mat"
 )
+
+// precisionBatches is the batch axis of the comparison: per-sample
+// Process (the degenerate batch), a small block, and the scoring
+// pipeline's full chunk.
+var precisionBatches = []int{1, 8, 64}
 
 // runPrecision is the `driftbench precision` subcommand: it trains one
 // monitor per trainable backend (f64, f32) on the NSL-KDD surrogate,
 // derives the Q16.16 port from the f64 monitor, and replays the test
-// stream through each, reporting per-sample scoring throughput and the
-// retained memory footprint side by side. -json writes the comparison as
-// the BENCH_5 artifact tracked by CI.
+// stream through each — per-sample and through the batched GEMM path at
+// several batch sizes — reporting scoring throughput and the retained
+// memory footprint side by side. -json writes the comparison as the
+// BENCH_6 artifact tracked by CI (the batch=1 rows are the old BENCH_5
+// measurement).
 func runPrecision(args []string) int {
 	fs := flag.NewFlagSet("precision", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "random seed for the trained monitors")
@@ -41,65 +49,91 @@ func runPrecision(args []string) int {
 		}
 		return mon, mon.Fit(ds.TrainX, ds.TrainY)
 	}
-	m64, err := train(edgedrift.Float64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "precision: train f64: %v\n", err)
-		return 1
-	}
-	m32, err := train(edgedrift.Float32)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "precision: train f32: %v\n", err)
-		return 1
-	}
-	// The Q16.16 port comes from its own f64 clone so the benchmark run
-	// of the f64 monitor above is not perturbed by quantisation state.
-	mq, err := train(edgedrift.Float64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "precision: train q16 donor: %v\n", err)
-		return 1
-	}
-	q16, err := mq.QuantizeQ16()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "precision: quantize: %v\n", err)
-		return 1
-	}
 
-	backends := []struct {
+	type backend struct {
 		name string
-		s    edgedrift.Streaming
+		s    edgedrift.BatchStreaming
 		mem  int
-	}{
-		{"f64", m64, m64.MemoryBytes()},
-		{"f32", m32, m32.MemoryBytes()},
-		{"q16", q16, q16.MemoryBytes()},
 	}
-	rows := make([]precisionRow, 0, len(backends))
-	for _, b := range backends {
-		var best float64
-		for r := 0; r < *repeat+1; r++ {
-			start := time.Now()
-			for _, x := range ds.TestX {
-				b.s.Process(x)
+	// Each backend×batch cell gets its own freshly trained monitor so no
+	// cell is perturbed by the drift/reconstruction state an earlier
+	// replay left behind.
+	build := func(name string) (backend, error) {
+		switch name {
+		case "f64", "f32":
+			p := edgedrift.Float64
+			if name == "f32" {
+				p = edgedrift.Float32
 			}
-			rate := float64(len(ds.TestX)) / time.Since(start).Seconds()
-			// Replay 0 warms caches (and, for f64/f32, settles any
-			// post-drift reconstruction); keep the best steady-state rate.
-			if r > 0 && rate > best {
-				best = rate
+			m, err := train(p)
+			if err != nil {
+				return backend{}, err
 			}
+			return backend{name, m, m.MemoryBytes()}, nil
+		default: // q16
+			donor, err := train(edgedrift.Float64)
+			if err != nil {
+				return backend{}, err
+			}
+			q, err := donor.QuantizeQ16()
+			if err != nil {
+				return backend{}, err
+			}
+			return backend{name, q.(edgedrift.BatchStreaming), q.MemoryBytes()}, nil
 		}
-		rows = append(rows, precisionRow{Precision: b.name, SamplesPerSec: best, MemoryBytes: b.mem})
 	}
 
-	fmt.Printf("precision: %d-sample NSL-KDD replay, best of %d after warm-up\n", len(ds.TestX), *repeat)
-	base := rows[0].SamplesPerSec
+	var rows []precisionRow
+	for _, name := range []string{"f64", "f32", "q16"} {
+		for _, bs := range precisionBatches {
+			b, err := build(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "precision: build %s: %v\n", name, err)
+				return 1
+			}
+			var best float64
+			dst := make([]edgedrift.Result, 0, bs)
+			for r := 0; r < *repeat+1; r++ {
+				start := time.Now()
+				if bs == 1 {
+					for _, x := range ds.TestX {
+						b.s.Process(x)
+					}
+				} else {
+					for lo := 0; lo < len(ds.TestX); lo += bs {
+						hi := lo + bs
+						if hi > len(ds.TestX) {
+							hi = len(ds.TestX)
+						}
+						dst = b.s.ProcessBatch(dst[:0], ds.TestX[lo:hi])
+					}
+				}
+				rate := float64(len(ds.TestX)) / time.Since(start).Seconds()
+				// Replay 0 warms caches (and, for f64/f32, settles any
+				// post-drift reconstruction); keep the best steady-state rate.
+				if r > 0 && rate > best {
+					best = rate
+				}
+			}
+			rows = append(rows, precisionRow{Precision: b.name, Batch: bs, SamplesPerSec: best, MemoryBytes: b.mem})
+		}
+	}
+
+	fmt.Printf("precision: %d-sample NSL-KDD replay, best of %d after warm-up (f32 SIMD: %v)\n",
+		len(ds.TestX), *repeat, mat.F32SIMD())
+	base := rows[0].SamplesPerSec // f64 per-sample
 	for _, r := range rows {
-		fmt.Printf("%-4s %12.0f samples/s  %6.2fx f64  %8.1f kB retained\n",
-			r.Precision, r.SamplesPerSec, r.SamplesPerSec/base, float64(r.MemoryBytes)/1024)
+		fmt.Printf("%-4s batch=%-3d %12.0f samples/s  %6.2fx f64  %8.1f kB retained\n",
+			r.Precision, r.Batch, r.SamplesPerSec, r.SamplesPerSec/base, float64(r.MemoryBytes)/1024)
 	}
 
 	if *jsonPath != "" {
-		sum := precisionSummary{Samples: len(ds.TestX), Repeat: *repeat, Backends: rows}
+		sum := precisionSummary{
+			Samples:  len(ds.TestX),
+			Repeat:   *repeat,
+			F32SIMD:  mat.F32SIMD(),
+			Backends: rows,
+		}
 		b, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "precision: %v\n", err)
@@ -113,9 +147,12 @@ func runPrecision(args []string) int {
 	return 0
 }
 
-// precisionRow is one backend's measurement in the BENCH_5 artifact.
+// precisionRow is one backend×batch cell of the BENCH_6 artifact.
+// Batch 1 is the per-sample Process path (the old BENCH_5 rows); larger
+// batches go through ProcessBatch and its GEMM kernels.
 type precisionRow struct {
 	Precision     string  `json:"precision"`
+	Batch         int     `json:"batch"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
 	MemoryBytes   int     `json:"memory_bytes"`
 }
@@ -125,5 +162,6 @@ type precisionRow struct {
 type precisionSummary struct {
 	Samples  int            `json:"samples"`
 	Repeat   int            `json:"repeat"`
+	F32SIMD  bool           `json:"f32_simd"`
 	Backends []precisionRow `json:"backends"`
 }

@@ -146,8 +146,11 @@ type Monitor struct {
 }
 
 // A fitted Monitor is itself a pipeline stage: the Fleet schedules it
-// through the same contract every detector in this repository satisfies.
+// through the same contract every detector in this repository satisfies,
+// and it exposes the batched-scoring capability so fleet batches run
+// through the GEMM path.
 var _ core.Streaming = (*Monitor)(nil)
+var _ core.BatchStreaming = (*Monitor)(nil)
 
 // New builds an untrained Monitor. Call Fit or FitUnsupervised before
 // Process.
@@ -272,6 +275,27 @@ func (m *Monitor) Process(x []float64) Result {
 		m.model.Train(x, res.Label)
 	}
 	return res
+}
+
+// ProcessBatch consumes a batch of samples in order, appending one
+// Result per sample to dst — results and state bit-identical to calling
+// Process per sample (the BatchStreaming contract). The win is the
+// memory-access pattern: the model scores each chunk through batched
+// GEMM kernels that stream every weight matrix once per chunk instead
+// of once per sample. With TrainDuringMonitor set, the model mutates
+// between samples, so the monitor transparently falls back to the
+// per-sample path.
+func (m *Monitor) ProcessBatch(dst []Result, xs [][]float64) []Result {
+	if !m.fit {
+		panic("edgedrift: ProcessBatch before Fit")
+	}
+	if m.opts.TrainDuringMonitor {
+		for _, x := range xs {
+			dst = append(dst, m.Process(x))
+		}
+		return dst
+	}
+	return m.det.ProcessBatch(dst, xs)
 }
 
 // Health assembles a structured health snapshot of the monitor: guard

@@ -341,6 +341,10 @@ type Detector struct {
 	ops       *opcount.Counter
 	stageOps  [numStages]opcount.Counter
 	stageN    [numStages]uint64
+
+	// Batch-scoring buffers (lazy; see ProcessBatch). Sized batchBlock.
+	batchLabels []int
+	batchScores []float64
 	scoreHist *stats.Running   // anomaly scores seen while monitoring (diagnostics)
 	scoreBins *stats.Histogram // score distribution over [0, 4·θ_error), for health
 }
@@ -381,7 +385,67 @@ func (m machine) MemoryBytes() int           { return m.d.MemoryBytes() }
 func (m machine) Health() health.Snapshot    { return m.d.Health() }
 func (m machine) PhaseNow() Phase            { return m.d.PhaseNow() }
 
+// batchBlock is how many monitoring samples the detector scores per
+// model sweep; aligned with the model/oselm chunk so one block is one
+// batched GEMM pair per instance.
+const batchBlock = 64
+
+// ProcessBatch on the raw state machine: score whole blocks through the
+// model's batched forward whenever the model is guaranteed static across
+// the block, fall back to per-sample processing everywhere else.
+//
+// The fast path requires ops == nil (op-counted runs charge per-sample
+// stage tallies through closures the batch path cannot replicate
+// mid-GEMM) and the monitoring/checking phases (reconstruction trains
+// the model on every sample, so consecutive scores are not batchable).
+// Within a block, a drift detection or divergence mutates the model;
+// the remaining precomputed scores are discarded and the outer loop
+// resumes — per-sample — on the next sample, exactly as the sequential
+// algorithm would.
+func (m machine) ProcessBatch(dst []Result, xs [][]float64) []Result {
+	d := m.d
+	i := 0
+	for i < len(xs) {
+		if d.ops != nil || d.drift {
+			dst = append(dst, d.processAccepted(xs[i]))
+			i++
+			continue
+		}
+		n := len(xs) - i
+		if n > batchBlock {
+			n = batchBlock
+		}
+		chunk := xs[i : i+n]
+		labels, scores := d.ensureBatchBuffers(n)
+		d.model.PredictBatch(labels, scores, chunk)
+		for k, x := range chunk {
+			d.samplesSeen++
+			d.stageN[StageLabelPrediction]++
+			res := d.monitorScored(x, labels[k], scores[k])
+			dst = append(dst, res)
+			i++
+			if d.drift {
+				break // model state changed; precomputed scores are stale
+			}
+		}
+	}
+	return dst
+}
+
+// ensureBatchBuffers lazily allocates the label/score staging for
+// batched prediction; per-sample-only deployments never carry it.
+func (d *Detector) ensureBatchBuffers(n int) ([]int, []float64) {
+	if d.batchLabels == nil {
+		d.batchLabels = make([]int, batchBlock)
+		d.batchScores = make([]float64, batchBlock)
+	}
+	return d.batchLabels[:n], d.batchScores[:n]
+}
+
 var _ Streaming = (*Detector)(nil)
+var _ BatchStreaming = (*Detector)(nil)
+var _ BatchStreaming = (*Guard)(nil)
+var _ BatchStreaming = machine{}
 
 // Config returns the defaulted configuration.
 func (d *Detector) Config() Config { return d.cfg }
@@ -606,6 +670,26 @@ func (d *Detector) Process(x []float64) Result {
 	return d.guard.Process(x)
 }
 
+// ProcessBatch consumes the samples of xs in order, appending one
+// Result each to dst, with results and post-call state identical to
+// calling Process per sample (see BatchStreaming). Monitoring-phase
+// samples are scored in blocks through the model's batched GEMM
+// forward; reconstruction, op-counted runs and guard-rejected samples
+// take the per-sample path internally. After the lazily-allocated batch
+// buffers exist, the call performs no heap allocation beyond dst's own
+// growth.
+func (d *Detector) ProcessBatch(dst []Result, xs [][]float64) []Result {
+	if !d.calibrated {
+		panic("core: Process before Calibrate")
+	}
+	for _, x := range xs {
+		if len(x) != d.dims {
+			panic(fmt.Sprintf("core: sample dimension %d, want %d", len(x), d.dims))
+		}
+	}
+	return d.guard.ProcessBatch(dst, xs)
+}
+
 // processAccepted is the raw Algorithm 1 state machine, running on
 // samples the ingestion Guard has already admitted (and, under
 // GuardClamp, repaired).
@@ -621,6 +705,16 @@ func (d *Detector) processAccepted(x []float64) Result {
 	d.stage(StageLabelPrediction, func() {
 		label, score = d.model.Predict(x)
 	})
+	return d.monitorScored(x, label, score)
+}
+
+// monitorScored is the monitoring-phase tail of Algorithm 1: everything
+// after the label prediction, operating on an already-computed (label,
+// score) pair. Factored out of processAccepted so the batched path —
+// which computes whole blocks of predictions in one model sweep — drives
+// the identical state machine per sample. samplesSeen and the
+// label-prediction stage tally are the caller's responsibility.
+func (d *Detector) monitorScored(x []float64, label int, score float64) Result {
 	if math.IsNaN(score) || math.IsInf(score, 0) {
 		// The input was finite, so the model's own state has diverged
 		// (e.g. RLS blow-up between watchdog passes). Degrade gracefully:
@@ -770,7 +864,8 @@ func (d *Detector) MemoryBytes() int {
 	centroids := 2 * d.classes * d.dims * f // trained + recent
 	counts := 2 * d.classes * 8             // num + baseNum
 	scalars := 16 * f                       // thresholds, window state, accumulators
-	return d.model.MemoryBytes() + centroids + counts + scalars
+	batch := 8 * (len(d.batchLabels) + len(d.batchScores)) // lazy; 0 until batching is used
+	return d.model.MemoryBytes() + centroids + counts + scalars + batch
 }
 
 // beginReconstruction transitions into Algorithm 2. The per-class counts

@@ -28,6 +28,24 @@ type Streaming interface {
 	Health() health.Snapshot
 }
 
+// BatchStreaming is the optional capability a stage can expose when it
+// can consume several samples per call: ProcessBatch appends one Result
+// per sample of xs to dst, in order, and returns the extended slice.
+//
+// The contract is strict equivalence: the results — and every piece of
+// observable stage state after the call — must be identical to calling
+// Process once per sample. Batching is a memory-access-pattern
+// optimisation (scoring N samples through shared weight matrices as
+// GEMMs instead of N matvec pairs), never a semantic change; a stage
+// that cannot currently guarantee equivalence (mid-reconstruction,
+// op-counting armed, timing armed) must fall back to its per-sample
+// path internally. Callers therefore never need to check state before
+// batching — only whether the capability exists at all.
+type BatchStreaming interface {
+	Streaming
+	ProcessBatch(dst []Result, xs [][]float64) []Result
+}
+
 // phaser is the optional capability a stage can expose so a wrapping
 // Guard can stamp the current phase onto replayed rejection Results.
 type phaser interface {
@@ -116,6 +134,40 @@ func (g *Guard) Process(x []float64) Result {
 	res := g.inner.Process(x)
 	g.lastGood = res
 	return res
+}
+
+// ProcessBatch forwards runs of finite samples to the wrapped stage's
+// batch path and handles non-finite samples one at a time through the
+// normal policy machinery. Equivalent to calling Process per sample:
+// the guard's only per-sample state is lastGood, which only the last
+// result of a forwarded run can be observed as.
+func (g *Guard) ProcessBatch(dst []Result, xs [][]float64) []Result {
+	bs, ok := g.inner.(BatchStreaming)
+	if !ok {
+		for _, x := range xs {
+			dst = append(dst, g.Process(x))
+		}
+		return dst
+	}
+	i := 0
+	for i < len(xs) {
+		run := 0
+		for i+run < len(xs) && mat.AllFinite(xs[i+run]) {
+			run++
+		}
+		if run == 0 {
+			dst = append(dst, g.Process(xs[i]))
+			i++
+			continue
+		}
+		base := len(dst)
+		dst = bs.ProcessBatch(dst, xs[i:i+run])
+		if len(dst) > base {
+			g.lastGood = dst[len(dst)-1]
+		}
+		i += run
+	}
+	return dst
 }
 
 // clampInto copies x into the guard's scratch buffer with non-finite

@@ -34,6 +34,11 @@ type Monitor struct {
 	events  []int
 	sat     int // values clipped during quantisation
 	ops     *opcount.Counter
+
+	// Batched-prediction staging (lazy; see ProcessBatch).
+	batchCols   [][]Q // per-instance score columns, C×batchChunk
+	batchLabels []int
+	batchScores []Q
 }
 
 // QuantizeDetector builds a fixed-point monitor from a calibrated float
@@ -127,6 +132,14 @@ func (mon *Monitor) Process(x []Q) Result {
 		}
 	}
 	mon.ops.AddCmp(len(mon.instances) - 1)
+	return mon.step(x, best, bestScore)
+}
+
+// step is the post-prediction half of Process: the θ_error gate, the
+// centroid window and the drift decision, operating on an
+// already-computed (label, score) pair so the batched path drives the
+// identical state machine. The caller increments samples first.
+func (mon *Monitor) step(x []Q, best int, bestScore Q) Result {
 	res := Result{Label: best, Score: bestScore}
 
 	if mon.pending {
@@ -153,6 +166,68 @@ func (mon *Monitor) Process(x []Q) Result {
 		}
 	}
 	return res
+}
+
+// scoreBatch predicts a chunk (≤ batchChunk samples): every instance
+// scores the whole chunk through its batched kernel, then the argmin
+// scan — replicating Process's exactly, including the "first instance
+// wins ties" rule and the comparison charge — fills labels and scores.
+func (mon *Monitor) scoreBatch(labels []int, scores []Q, chunk [][]Q) {
+	if mon.batchCols == nil {
+		mon.batchCols = make([][]Q, len(mon.instances))
+		for c := range mon.batchCols {
+			mon.batchCols[c] = make([]Q, batchChunk)
+		}
+	}
+	for c, inst := range mon.instances {
+		inst.ScoreBatch(mon.batchCols[c][:len(chunk)], chunk)
+	}
+	for i := range chunk {
+		best, bestScore := 0, Q(0)
+		for c := range mon.instances {
+			if s := mon.batchCols[c][i]; c == 0 || s < bestScore {
+				best, bestScore = c, s
+			}
+		}
+		mon.ops.AddCmp(len(mon.instances) - 1)
+		labels[i], scores[i] = best, bestScore
+	}
+}
+
+// ensureBatch lazily allocates the chunk-sized label/score staging.
+func (mon *Monitor) ensureBatch() ([]int, []Q) {
+	if mon.batchLabels == nil {
+		mon.batchLabels = make([]int, batchChunk)
+		mon.batchScores = make([]Q, batchChunk)
+	}
+	return mon.batchLabels, mon.batchScores
+}
+
+// ProcessBatch consumes xs in order, appending one Result per sample to
+// dst. The on-device model is inference-only — nothing mutates the
+// instances between samples, even across a detection — so batching is
+// always valid here and results are bit-identical to per-sample Process
+// calls (see Autoencoder.ScoreBatch for the kernel argument).
+func (mon *Monitor) ProcessBatch(dst []Result, xs [][]Q) []Result {
+	labels, scores := mon.ensureBatch()
+	for start := 0; start < len(xs); start += batchChunk {
+		end := start + batchChunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		chunk := xs[start:end]
+		for _, x := range chunk {
+			if len(x) != mon.dims {
+				panic(fmt.Sprintf("fixed: sample dimension %d, want %d", len(x), mon.dims))
+			}
+		}
+		mon.scoreBatch(labels[:len(chunk)], scores[:len(chunk)], chunk)
+		for i, x := range chunk {
+			mon.samples++
+			dst = append(dst, mon.step(x, labels[i], scores[i]))
+		}
+	}
+	return dst
 }
 
 // updateCentroid applies the running-mean rule in fixed point:
@@ -186,11 +261,16 @@ func (mon *Monitor) MemoryBytes() int {
 	const w = 4
 	total := 8 * w // scalars
 	for _, inst := range mon.instances {
-		total += w * (len(inst.w) + len(inst.bias) + len(inst.beta) + len(inst.h) + len(inst.recon))
+		total += w * (len(inst.w) + len(inst.bias) + len(inst.beta) + len(inst.h) + len(inst.recon) + len(inst.hb))
 	}
 	for c := range mon.cor {
 		total += w * (len(mon.cor[c]) + len(mon.trainCor[c]))
 	}
 	total += 4 * len(mon.num)
+	// Batch staging, zero until the batched path is first used.
+	for _, col := range mon.batchCols {
+		total += w * len(col)
+	}
+	total += 8*len(mon.batchLabels) + w*len(mon.batchScores)
 	return total
 }

@@ -27,7 +27,7 @@ func monSample(r *rng.Rand, c int, shift float64) []float64 {
 
 // calibratedFloatDetector trains and calibrates the float pipeline the
 // quantised monitor derives from.
-func calibratedFloatDetector(t *testing.T, seed uint64) (*core.Detector, *rng.Rand) {
+func calibratedFloatDetector(t testing.TB, seed uint64) (*core.Detector, *rng.Rand) {
 	t.Helper()
 	m, err := model.New(model.Config{Classes: monClasses, Inputs: monDims, Hidden: 8, Ridge: 1e-2, Metric: oselm.L1Mean}, rng.New(seed))
 	if err != nil {

@@ -87,7 +87,12 @@ type member struct {
 	// loop calls the wrapper through this concrete pointer (a static
 	// call target) instead of re-dispatching through the interface, so
 	// instrumentation costs one direct call, not a second virtual one.
-	instr   *core.Instrumented
+	instr *core.Instrumented
+	// batch is the stage's batched-scoring capability, discovered once at
+	// Add time (nil when the stage is per-sample only). When set, whole
+	// ProcessBatch calls go through one virtual dispatch instead of one
+	// per sample, and the stage gets contiguous chunks to run as GEMMs.
+	batch   core.BatchStreaming
 	samples uint64
 	drifts  uint64
 	removed bool
@@ -154,6 +159,9 @@ func (f *Fleet) Add(id string, s core.Streaming) error {
 			TraceDepth:  f.cfg.TraceDepth,
 		})
 		mb.stage = mb.instr
+	}
+	if bs, ok := mb.stage.(core.BatchStreaming); ok {
+		mb.batch = bs
 	}
 	sh := f.shardOf(id)
 	sh.mu.Lock()
@@ -250,6 +258,23 @@ func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) (
 	defer m.mu.Unlock()
 	if m.removed {
 		return dst, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.batch != nil {
+		// Batched path: the stage consumes the whole slice in one call
+		// (equivalence to per-sample Process is the BatchStreaming
+		// contract), then the fleet replays its accounting over the
+		// appended results.
+		base := len(dst)
+		dst = m.batch.ProcessBatch(dst, xs)
+		for _, r := range dst[base:] {
+			idx := m.samples
+			m.samples++
+			if r.DriftDetected {
+				m.drifts++
+				f.emit(Event{StreamID: id, Index: int(idx), Result: r})
+			}
+		}
+		return dst, nil
 	}
 	for _, x := range xs {
 		var r core.Result
@@ -452,11 +477,11 @@ func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 // memberOverheadBytes is the registry's own cost per member beyond the
 // stage's audit and the ID bytes (charged as len(id)): the member
 // struct (mutex, 16-byte stage interface header, the concrete instr
-// pointer, two uint64 counters, removed mark + padding = 56), the
-// map's *member value (8), and the string header of the map key (16).
-// Pinned to the real layout by an unsafe.Sizeof test so it cannot rot
-// when the struct changes.
-const memberOverheadBytes = 56 + 8 + 16
+// pointer, the 16-byte batch capability header, two uint64 counters,
+// removed mark + padding = 72), the map's *member value (8), and the
+// string header of the map key (16). Pinned to the real layout by an
+// unsafe.Sizeof test so it cannot rot when the struct changes.
+const memberOverheadBytes = 72 + 8 + 16
 
 // MemoryBytes audits the whole fleet's retained state: the sum of every
 // member's audit plus the registry's own per-member overhead.

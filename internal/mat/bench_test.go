@@ -159,5 +159,88 @@ func BenchmarkMulTransA(b *testing.B) {
 	}
 }
 
+// batchSizes is the sample-block axis of the batched-kernel benches:
+// per-sample (the degenerate batch), the L1-friendly mid block, and the
+// chunk size the scoring pipeline actually uses.
+var batchSizes = []int{1, 8, 64}
+
+func randRows(r *rng.Rand, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = randVec(r, d)
+	}
+	return rows
+}
+
+// BenchmarkMulBatchRows is the hidden-layer GEMM of the batched scoring
+// path at the detector's real shape: N samples against the H×D weight
+// slab, which streams through cache once per block instead of once per
+// sample. ns/op is per sample, so rows compare directly across N.
+func BenchmarkMulBatchRows(b *testing.B) {
+	const d, h = 511, 22
+	for _, n := range batchSizes {
+		b.Run(fmt.Sprintf("D%d_H%d/batch%d", d, h, n), func(b *testing.B) {
+			r := rng.New(1)
+			w := randMatrix(r, h, d)
+			xs := randRows(r, n, d)
+			dst := New(n, h)
+			b.SetBytes(int64(8 * h * d))
+			b.ResetTimer()
+			for i := 0; i < b.N; i += n {
+				MulBatchRows(dst, xs, w)
+			}
+		})
+	}
+}
+
+// BenchmarkDotF32 measures the float32 dot kernel with the SIMD
+// dispatch as built (see the f32simd suffix for what ran).
+func BenchmarkDotF32(b *testing.B) {
+	for _, n := range []int{22, 128, 511} {
+		b.Run(fmt.Sprintf("N%d/f32simd=%v", n, F32SIMD()), func(b *testing.B) {
+			r := rng.New(1)
+			x := make([]float32, n)
+			y := make([]float32, n)
+			for i := range x {
+				x[i] = float32(r.Float64()*2 - 1)
+				y[i] = float32(r.Float64()*2 - 1)
+			}
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += DotF32(x, y)
+			}
+			sinkFloat32 = s
+		})
+	}
+}
+
+// BenchmarkMulBatchF32 is the float32 hidden-layer GEMM (dst = xs·wᵀ)
+// of the batched scoring path; ns/op is per sample.
+func BenchmarkMulBatchF32(b *testing.B) {
+	const d, h = 511, 22
+	for _, n := range batchSizes {
+		b.Run(fmt.Sprintf("D%d_H%d/batch%d/f32simd=%v", d, h, n, F32SIMD()), func(b *testing.B) {
+			r := rng.New(1)
+			w := NewOf[float32](h, d)
+			xs := NewOf[float32](n, d)
+			for i := range w.Data {
+				w.Data[i] = float32(r.Float64()*2 - 1)
+			}
+			for i := range xs.Data {
+				xs.Data[i] = float32(r.Float64()*2 - 1)
+			}
+			dst := NewOf[float32](n, h)
+			b.SetBytes(int64(4 * h * d))
+			b.ResetTimer()
+			for i := 0; i < b.N; i += n {
+				MulBatchF32(dst, xs, w)
+			}
+		})
+	}
+}
+
 // sinkFloat defeats dead-code elimination in value-returning benches.
 var sinkFloat float64
+var sinkFloat32 float32

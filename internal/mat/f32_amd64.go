@@ -1,0 +1,46 @@
+//go:build amd64
+
+package mat
+
+// AVX2+FMA feature probe. The asm kernels need AVX2 (256-bit integer-free
+// float ops are AVX1, but VBROADCASTSS from register and the FMA forms we
+// emit assume the AVX2+FMA pairing every AVX2 part ships), FMA3, and —
+// critically — OS support for saving the YMM state (OSXSAVE set and
+// XCR0[2:1] == 11b), without which executing a VEX.256 instruction faults
+// even on capable hardware.
+
+//go:noescape
+func dotF32Asm(a, b *float32, n int) float32
+
+//go:noescape
+func axpy4F32Asm(dst, b *float32, ldb int, s *[4]float32, n int)
+
+//go:noescape
+func axpy1F32Asm(dst, b *float32, s float32, n int)
+
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0Asm() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, c, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c&fmaBit == 0 || c&osxsaveBit == 0 || c&avxBit == 0 {
+		return
+	}
+	xcr0, _ := xgetbv0Asm()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return
+	}
+	_, b, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	f32SIMD = b&avx2Bit != 0
+}

@@ -1,0 +1,193 @@
+// AVX2+FMA float32 kernels for the scoring hot path. Only reached when
+// the runtime probe in f32_amd64.go set mat.f32SIMD; callers guarantee
+// n >= 1 and non-nil pointers. All loads/stores are unaligned (VMOVUPS) —
+// Go slices carry no alignment guarantee. Every exit runs VZEROUPPER so
+// the surrounding SSE-encoded Go code pays no AVX transition penalty.
+
+#include "textflag.h"
+
+// func dotF32Asm(a, b *float32, n int) float32
+//
+// Four independent YMM accumulators, 32 floats per iteration, hiding the
+// FMA latency chain; then single-YMM 8-wide steps, a horizontal reduce,
+// and a scalar tail.
+TEXT ·dotF32Asm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $5, DX            // 32-element blocks
+	JZ   dot8
+dot32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VFMADD231PS (DI), Y4, Y0
+	VFMADD231PS 32(DI), Y5, Y1
+	VFMADD231PS 64(DI), Y6, Y2
+	VFMADD231PS 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  dot32
+dot8:
+	MOVQ CX, DX
+	ANDQ $31, DX
+	SHRQ $3, DX            // remaining 8-element blocks
+	JZ   dotreduce
+dot8loop:
+	VMOVUPS (SI), Y4
+	VFMADD231PS (DI), Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  dot8loop
+dotreduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	ANDQ $7, CX            // scalar tail
+	JZ   dotdone
+dottail:
+	VMOVSS (SI), X4
+	VMOVSS (DI), X5
+	VMULSS X5, X4, X4
+	VADDSS X4, X0, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  dottail
+dotdone:
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func axpy4F32Asm(dst, b *float32, ldb int, s *[4]float32, n int)
+//
+// dst[j] += s[0]·b[j] + s[1]·b[ldb+j] + s[2]·b[2ldb+j] + s[3]·b[3ldb+j]
+// for j in [0, n) — four rows of the transposed-matvec accumulated into
+// dst in one sweep, each scalar broadcast across a YMM lane set.
+TEXT ·axpy4F32Asm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ ldb+16(FP), DX
+	SHLQ $2, DX            // row stride in bytes
+	MOVQ s+24(FP), AX
+	VBROADCASTSS 0(AX), Y1
+	VBROADCASTSS 4(AX), Y2
+	VBROADCASTSS 8(AX), Y3
+	VBROADCASTSS 12(AX), Y4
+	LEAQ (SI)(DX*1), R9    // row 1
+	LEAQ (SI)(DX*2), R10   // row 2
+	LEAQ (R10)(DX*1), R11  // row 3
+	MOVQ n+32(FP), CX
+	MOVQ CX, DX
+	SHRQ $3, DX            // 8-element blocks
+	JZ   a4tail
+a4loop:
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y5
+	VMOVUPS (R9), Y6
+	VMOVUPS (R10), Y7
+	VMOVUPS (R11), Y8
+	VFMADD231PS Y5, Y1, Y0
+	VFMADD231PS Y6, Y2, Y0
+	VFMADD231PS Y7, Y3, Y0
+	VFMADD231PS Y8, Y4, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ DX
+	JNZ  a4loop
+a4tail:
+	ANDQ $7, CX
+	JZ   a4done
+a4tailloop:
+	VMOVSS (DI), X0
+	VMOVSS (SI), X5
+	VFMADD231SS X5, X1, X0
+	VMOVSS (R9), X5
+	VFMADD231SS X5, X2, X0
+	VMOVSS (R10), X5
+	VFMADD231SS X5, X3, X0
+	VMOVSS (R11), X5
+	VFMADD231SS X5, X4, X0
+	VMOVSS X0, (DI)
+	ADDQ $4, DI
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  a4tailloop
+a4done:
+	VZEROUPPER
+	RET
+
+// func axpy1F32Asm(dst, b *float32, s float32, n int)
+//
+// dst[j] += s·b[j] for j in [0, n) — the tail-row form of the
+// transposed matvec (rows beyond the last multiple of four).
+TEXT ·axpy1F32Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	VBROADCASTSS s+16(FP), Y1
+	MOVQ n+24(FP), CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   a1tail
+a1loop:
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y2
+	VFMADD231PS Y2, Y1, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	DECQ DX
+	JNZ  a1loop
+a1tail:
+	ANDQ $7, CX
+	JZ   a1done
+a1tailloop:
+	VMOVSS (DI), X0
+	VMOVSS (SI), X2
+	VFMADD231SS X2, X1, X0
+	VMOVSS X0, (DI)
+	ADDQ $4, DI
+	ADDQ $4, SI
+	DECQ CX
+	JNZ  a1tailloop
+a1done:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0Asm() (eax, edx uint32)
+TEXT ·xgetbv0Asm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

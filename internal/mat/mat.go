@@ -157,9 +157,14 @@ func (m *MatrixOf[E]) Transpose() *MatrixOf[E] {
 // Mul computes dst = a·b. dst must not alias a or b; it is resized storage
 // allocated by the caller with shape a.Rows×b.Cols.
 //
-// The inner loop is unrolled 4-way over k so each pass touches four rows
-// of b while streaming the destination row once, quartering the number of
-// times drow is re-read from memory compared to the naive axpy loop.
+// The inner loop consumes eight rows of b per sweep of the destination
+// row — twice the historical 4-wide unroll — halving how often drow is
+// re-read from memory, which is what the kernel is bound by at these
+// shapes. Float64 results stay bit-identical to refMul: each 8-row pass
+// adds two 4-term groups to drow[j] in two statements, which is exactly
+// the association of two consecutive 4-wide passes, and the 4-wide and
+// scalar tails below are the reference's own (including the zero-skip,
+// whose absence could flip a −0 sum to +0).
 func Mul[E Element](dst, a, b *MatrixOf[E]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(ErrShape)
@@ -167,6 +172,7 @@ func Mul[E Element](dst, a, b *MatrixOf[E]) {
 	n := a.Cols
 	bc := b.Cols
 	n4 := n &^ 3
+	n8 := n &^ 7
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
@@ -174,6 +180,26 @@ func Mul[E Element](dst, a, b *MatrixOf[E]) {
 			drow[j] = 0
 		}
 		var k int
+		for ; k < n8; k += 8 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			a4, a5, a6, a7 := arow[k+4], arow[k+5], arow[k+6], arow[k+7]
+			b0 := b.Data[k*bc : k*bc+bc]
+			b1 := b.Data[(k+1)*bc : (k+1)*bc+bc]
+			b2 := b.Data[(k+2)*bc : (k+2)*bc+bc]
+			b3 := b.Data[(k+3)*bc : (k+3)*bc+bc]
+			b4 := b.Data[(k+4)*bc : (k+4)*bc+bc]
+			b5 := b.Data[(k+5)*bc : (k+5)*bc+bc]
+			b6 := b.Data[(k+6)*bc : (k+6)*bc+bc]
+			b7 := b.Data[(k+7)*bc : (k+7)*bc+bc]
+			if len(b0) < len(drow) || len(b1) < len(drow) || len(b2) < len(drow) || len(b3) < len(drow) ||
+				len(b4) < len(drow) || len(b5) < len(drow) || len(b6) < len(drow) || len(b7) < len(drow) {
+				panic(ErrShape) // unreachable; hoists the bounds checks
+			}
+			for j := range drow {
+				s := drow[j] + (a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j])
+				drow[j] = s + (a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j])
+			}
+		}
 		for ; k < n4; k += 4 {
 			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
 			b0 := b.Data[k*bc : k*bc+bc]
@@ -207,10 +233,13 @@ func MulNew[E Element](a, b *MatrixOf[E]) *MatrixOf[E] {
 	return dst
 }
 
-// MulTransA computes dst = aᵀ·b without materialising aᵀ. Four rows of a
-// and b are consumed per pass so each destination row is updated with a
-// 4-term fused accumulation instead of four separate read-modify-write
-// sweeps.
+// MulTransA computes dst = aᵀ·b without materialising aᵀ. Eight rows of
+// a and b are consumed per pass so each destination row is updated with
+// two fused 4-term accumulations instead of eight separate
+// read-modify-write sweeps. Like Mul, the 8-row pass adds its two 4-term
+// groups in two statements — the exact association of two consecutive
+// 4-row reference passes — and the tails are the reference's own, so
+// float64 results are bit-identical to refMulTransA.
 func MulTransA[E Element](dst, a, b *MatrixOf[E]) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(ErrShape)
@@ -220,7 +249,27 @@ func MulTransA[E Element](dst, a, b *MatrixOf[E]) {
 	}
 	n := a.Rows
 	n4 := n &^ 3
+	n8 := n &^ 7
 	var k int
+	for ; k < n8; k += 8 {
+		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		a4, a5, a6, a7 := a.Row(k+4), a.Row(k+5), a.Row(k+6), a.Row(k+7)
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		b4, b5, b6, b7 := b.Row(k+4), b.Row(k+5), b.Row(k+6), b.Row(k+7)
+		for i := range a0 {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			v4, v5, v6, v7 := a4[i], a5[i], a6[i], a7[i]
+			drow := dst.Row(i)
+			if len(b0) < len(drow) || len(b1) < len(drow) || len(b2) < len(drow) || len(b3) < len(drow) ||
+				len(b4) < len(drow) || len(b5) < len(drow) || len(b6) < len(drow) || len(b7) < len(drow) {
+				panic(ErrShape) // unreachable; hoists the bounds checks
+			}
+			for j := range drow {
+				s := drow[j] + (v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j])
+				drow[j] = s + (v4*b4[j] + v5*b5[j] + v6*b6[j] + v7*b7[j])
+			}
+		}
+	}
 	for ; k < n4; k += 4 {
 		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
 		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)

@@ -65,6 +65,11 @@ type Multi struct {
 	parThreshold int // min modelled MACs per Predict before fanning out
 	predictMACs  int // ≈ C·2·D·H, fixed at construction
 	pool         *scorePool
+
+	// batchScores holds one score column per class for PredictBatch,
+	// allocated lazily so per-sample-only deployments carry no extra
+	// state (C × predictBatchChunk).
+	batchScores [][]float64
 }
 
 var _ Discriminator = (*Multi)(nil)
@@ -134,6 +139,58 @@ func (m *Multi) Predict(x []float64) (int, float64) {
 // Scores returns the per-instance anomaly scores computed by the most
 // recent Predict (a view; valid until the next Predict).
 func (m *Multi) Scores() []float64 { return m.scores }
+
+// predictBatchChunk bounds how many samples PredictBatch stages per
+// instance sweep; matches the oselm batched-forward chunk so each
+// instance's ScoreBatch call is exactly one GEMM pair.
+const predictBatchChunk = 64
+
+// ensureBatchScores lazily allocates the per-class score columns.
+func (m *Multi) ensureBatchScores() [][]float64 {
+	if m.batchScores == nil {
+		m.batchScores = make([][]float64, m.cfg.Classes)
+		for i := range m.batchScores {
+			m.batchScores[i] = make([]float64, predictBatchChunk)
+		}
+	}
+	return m.batchScores
+}
+
+// PredictBatch predicts every sample of xs, writing the argmin label and
+// its score into labels[i] and scores[i] (both len(xs)). Each instance
+// scores whole chunks through its batched forward, so the per-sample
+// arithmetic — and therefore every label and score — is bit-identical to
+// calling Predict per sample; only the order instances touch memory
+// changes. The argmin scan replicates Predict's exactly (strict <, first
+// index wins) including its comparison charge. Unlike Predict, the
+// Scores() view is not updated. The batch path never fans out to the
+// parallel scorer; it is already bandwidth-optimal sequentially.
+func (m *Multi) PredictBatch(labels []int, scores []float64, xs [][]float64) {
+	if len(labels) != len(xs) || len(scores) != len(xs) {
+		panic("model: PredictBatch buffer length mismatch")
+	}
+	bs := m.ensureBatchScores()
+	for start := 0; start < len(xs); start += predictBatchChunk {
+		end := start + predictBatchChunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		chunk := xs[start:end]
+		for c, ae := range m.instances {
+			ae.ScoreBatch(bs[c][:len(chunk)], chunk)
+		}
+		for i := range chunk {
+			best, bestScore := 0, bs[0][i]
+			for c := range m.instances {
+				if s := bs[c][i]; s < bestScore {
+					best, bestScore = c, s
+				}
+			}
+			m.ops.AddCmp(len(m.instances) - 1)
+			labels[start+i], scores[start+i] = best, bestScore
+		}
+	}
+}
 
 // Train folds x into the instance for label.
 func (m *Multi) Train(x []float64, label int) {
@@ -234,6 +291,9 @@ func (m *Multi) Precision() oselm.Precision { return m.cfg.Precision }
 // on reduced-precision backends).
 func (m *Multi) MemoryBytes() int {
 	total := m.cfg.Precision.Bytes() * len(m.scores)
+	for _, col := range m.batchScores {
+		total += m.cfg.Precision.Bytes() * len(col)
+	}
 	for _, ae := range m.instances {
 		total += ae.MemoryBytes()
 	}

@@ -147,6 +147,10 @@ type Model struct {
 	ops   *opcount.Counter
 	inits int // samples consumed since last Reset (sequential-only training)
 
+	// bb is the batched-forward scratch, allocated lazily on the first
+	// batch scoring call (see batch.go); nil on per-sample-only models.
+	bb *batchScratch
+
 	// RLS health watchdog state; see watchdog().
 	wdPeriod   int     // trains between watchdog passes
 	wdCount    int     // trains since the last pass
@@ -304,6 +308,16 @@ func (m *Model) SetOps(c *opcount.Counter) { m.ops = c }
 // operations, so the float64 path is bit-for-bit the historical one.
 func hiddenKernel[E mat.Element](dst []E, w *mat.MatrixOf[E], bias, x []E, act Activation) {
 	mat.MulVec(dst, w, x)
+	activateKernel(dst, bias, act)
+}
+
+// activateKernel applies g(z + b) in place — factored out of
+// hiddenKernel so the batched forward (which computes the matvec part as
+// a GEMM) and the float32 SIMD path run the exact same element-wise
+// arithmetic as the per-sample kernel: bias add and activation at E,
+// transcendental evaluated at float64 and narrowed, identically in every
+// entry point.
+func activateKernel[E mat.Element](dst, bias []E, act Activation) {
 	for i := range dst {
 		z := dst[i] + bias[i]
 		switch act {
@@ -345,7 +359,11 @@ func (m *Model) hidden32(x []float64) {
 		panic(fmt.Sprintf("oselm: input dimension %d, want %d", len(x), m.cfg.Inputs))
 	}
 	mat.ConvertVec(m.x32, x)
-	hiddenKernel(m.h32, m.w32, m.bias32, m.x32, m.cfg.Activation)
+	// The concrete float32 matvec dispatches to the SIMD kernels when the
+	// CPU has them; the batched path runs the same kernel, which is what
+	// keeps batch and per-sample f32 scores bit-identical (see mat/f32.go).
+	mat.MulVecF32(m.h32, m.w32, m.x32)
+	activateKernel(m.h32, m.bias32, m.cfg.Activation)
 	m.opsHidden()
 }
 
@@ -360,7 +378,7 @@ func (m *Model) Predict(dst, x []float64) []float64 {
 	}
 	if m.w32 != nil {
 		m.hidden32(x)
-		mat.MulVecTrans(m.o32, m.beta32, m.h32)
+		mat.MulVecTransF32(m.o32, m.beta32, m.h32)
 		m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
 		mat.ConvertVec(dst, m.o32)
 		return dst
@@ -423,7 +441,7 @@ func (m *Model) Train(x, t []float64) {
 	// the residual measures — and therefore corrects — the rounded
 	// model's real error rather than an idealised float64 shadow's.
 	if m.beta32 != nil {
-		mat.MulVecTrans(m.o32, m.beta32, m.h32)
+		mat.MulVecTransF32(m.o32, m.beta32, m.h32)
 		m.ops.AddMulAdd(m.cfg.Hidden * m.cfg.Outputs)
 		for i := range m.e {
 			m.e[i] = t[i] - float64(m.o32[i])
@@ -618,6 +636,9 @@ func (m *Model) Weights() (w, bias, beta []float64) {
 func (m *Model) MemoryBytes() int {
 	const f64 = 8
 	training := f64 * (len(m.p.Data) + len(m.h) + len(m.ph) + len(m.e))
+	if m.bb != nil {
+		training += m.bb.bytes()
+	}
 	es := m.cfg.Precision.Bytes()
 	if m.w32 != nil {
 		return training + es*(len(m.w32.Data)+len(m.bias32)+len(m.beta32.Data)+
