@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,11 @@ staticcheck:
 # The packages with concurrency: parallel multi-instance scoring (model),
 # the experiment worker pool (eval), and the sharded multi-stream fleet.
 # core exercises model+eval transitively; the root package holds the
-# concurrent Fleet integration tests.
+# concurrent Fleet integration tests. wire/shard/router are the
+# distributed serve tier — the router test is the end-to-end shard
+# migration integration test, so it runs under the detector too.
 race:
-	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/... ./internal/fleet/... .
+	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/... ./internal/fleet/... ./internal/wire/... ./internal/shard/... ./internal/router/... .
 
 # Kernel and hot-path micro-benchmarks at the detector's real shapes.
 bench-kernels:
@@ -87,6 +89,15 @@ bench-compare:
 	else \
 		echo "benchstat unavailable or no base run; raw results in $(BENCH_DIR)/ (go install golang.org/x/perf/cmd/benchstat@latest)" | tee $(BENCH_DIR)/benchstat.txt; \
 	fi
+
+# Distributed serve tier scaling curve: spawn 1/2/4 shard processes
+# behind the consistent-hash router, drive pipelined synthetic streams
+# through them (with one live migration per multi-shard point), and
+# write aggregate samples/s + p99 ingest latency as the BENCH_7
+# artifact. Sized down from the defaults to stay CI-friendly.
+bench-loadgen:
+	$(GO) build -o bin/driftbench ./cmd/driftbench
+	./bin/driftbench loadgen -shard-range 1,2,4 -streams 16 -samples 20480 -json BENCH_7.json
 
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`

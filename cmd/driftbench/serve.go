@@ -185,6 +185,10 @@ func runServe(args []string) int {
 	}()
 	log.Printf("serve: %d %s streams replaying; /metrics /health /trace on http://%s", *streams, prec, *addr)
 	err = srv.ListenAndServe()
+	// ListenAndServe returns on bind failure too — cancel the replay
+	// context before waiting, or the stream goroutines spin forever and
+	// this never exits.
+	cancel()
 	wg.Wait()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)

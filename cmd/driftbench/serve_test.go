@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"edgedrift"
 	"edgedrift/internal/datasets/synth"
@@ -45,6 +47,35 @@ func tinyServeFleet(t *testing.T) *edgedrift.Fleet {
 		}
 	}
 	return f
+}
+
+// TestServeBindFailureExits is the regression test for the bind-time
+// hang: when ListenAndServe fails because the address is occupied,
+// runServe must cancel the replay goroutines and exit nonzero instead
+// of blocking forever in wg.Wait. Duration is deliberately unlimited —
+// a -duration timeout would mask the hang by cancelling the context on
+// its own.
+func TestServeBindFailureExits(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		done <- runServe([]string{
+			"-addr", ln.Addr().String(), "-streams", "1", "-log-health", "0",
+		})
+	}()
+	select {
+	case code := <-done:
+		if code == 0 {
+			t.Fatal("runServe returned 0 after a bind failure")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("runServe hung after the bind failure (replay goroutines never cancelled)")
+	}
 }
 
 // TestServeEndpoints exercises the serve mux end to end over HTTP:

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"edgedrift/internal/core"
+	"edgedrift/internal/fixed"
 	"edgedrift/internal/fleet"
 )
 
@@ -172,6 +173,56 @@ func asMonitor(s core.Streaming) (*Monitor, bool) {
 	}
 }
 
+// asFixedStream recovers the Q16.16 stage inside a member, seeing
+// through the Instrumented wrapper like asMonitor.
+func asFixedStream(s core.Streaming) (*fixed.Stream, bool) {
+	for {
+		if fs, ok := s.(*fixed.Stream); ok {
+			return fs, true
+		}
+		in, ok := s.(*core.Instrumented)
+		if !ok {
+			return nil, false
+		}
+		s = in.Inner()
+	}
+}
+
+// Member-kind bytes recorded per member in the FLEET2 container and in
+// ExportMember payloads: the discriminator that lets mixed-precision
+// fleets round-trip (satellite of the distributed tier — a shard must
+// be able to checkpoint and migrate q16 members like any other).
+const (
+	memberKindMonitor = 0 // float Monitor, OSELM3 artifact (at the fleet's save precision)
+	memberKindQ16     = 1 // fixed.Stream, QFIX01 artifact
+)
+
+// encodeMember serialises one member stage with its kind byte; prec
+// applies to float Monitors only (the Q16.16 wire format is exact).
+func encodeMember(prec Precision) fleet.EncodeFunc {
+	return func(id string, s core.Streaming, w io.Writer) (byte, error) {
+		if mon, ok := asMonitor(s); ok {
+			return memberKindMonitor, mon.Save(w, prec)
+		}
+		if fs, ok := asFixedStream(s); ok {
+			return memberKindQ16, fs.Save(w)
+		}
+		return 0, fmt.Errorf("edgedrift: fleet member %q has no wire format (not a Monitor or Q16.16 stage)", id)
+	}
+}
+
+// decodeMember reconstructs one member stage from its kind byte.
+func decodeMember(id string, kind byte, r io.Reader) (core.Streaming, error) {
+	switch kind {
+	case memberKindMonitor:
+		return LoadMonitor(r)
+	case memberKindQ16:
+		return fixed.LoadStream(r)
+	default:
+		return nil, fmt.Errorf("edgedrift: fleet member %q: unknown member kind %d", id, kind)
+	}
+}
+
 // Do runs fn against one member while holding that member's lock — the
 // safe way to inspect a single stream while the fleet keeps processing.
 func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
@@ -184,41 +235,28 @@ func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
 	})
 }
 
-// Save serialises the whole fleet in sorted-ID order: a FLEET1
-// container in which every member is a complete monitor artifact with
-// its own CRC32 footer, covered again by a container-level footer.
+// Save serialises the whole fleet in sorted-ID order: a FLEET2
+// container in which every member is a complete artifact with its own
+// CRC32 footer — float Monitors at prec, Q16.16 stages in their exact
+// integer format — covered again by a container-level footer.
 // Corruption fails loudly at load, naming the damaged member.
 func (f *Fleet) Save(w io.Writer, prec Precision) error {
-	return f.f.Save(w, func(id string, s core.Streaming, w io.Writer) error {
-		mon, ok := asMonitor(s)
-		if !ok {
-			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
-		}
-		return mon.Save(w, prec)
-	})
+	return f.f.Save(w, encodeMember(prec))
 }
 
 // SaveFile atomically writes the fleet artifact to path (temp file,
 // sync, rename — the same crash-safety contract as Monitor.SaveFile).
 func (f *Fleet) SaveFile(path string, prec Precision) error {
-	return f.f.SaveFile(path, func(id string, s core.Streaming, w io.Writer) error {
-		mon, ok := asMonitor(s)
-		if !ok {
-			return fmt.Errorf("edgedrift: fleet member %q is not a Monitor", id)
-		}
-		return mon.Save(w, prec)
-	})
+	return f.f.SaveFile(path, encodeMember(prec))
 }
 
-// LoadFleet deserialises a fleet written by Save. Every member is
+// LoadFleet deserialises a fleet written by Save (FLEET2, or a legacy
+// FLEET1 artifact whose members are all Monitors). Every member is
 // immediately ready to Process. Corruption — container or member level
 // — fails with an error matching ErrBadFormat.
 func LoadFleet(r io.Reader, cfg FleetConfig) (*Fleet, error) {
 	fl := NewFleet(cfg)
-	err := fl.f.Load(r, func(id string, r io.Reader) (core.Streaming, error) {
-		return LoadMonitor(r)
-	})
-	if err != nil {
+	if err := fl.f.Load(r, decodeMember); err != nil {
 		return nil, liftFleetErr(err)
 	}
 	return fl, nil
@@ -227,13 +265,62 @@ func LoadFleet(r io.Reader, cfg FleetConfig) (*Fleet, error) {
 // LoadFleetFile deserialises a fleet artifact written by SaveFile.
 func LoadFleetFile(path string, cfg FleetConfig) (*Fleet, error) {
 	fl := NewFleet(cfg)
-	err := fl.f.LoadFile(path, func(id string, r io.Reader) (core.Streaming, error) {
-		return LoadMonitor(r)
-	})
-	if err != nil {
+	if err := fl.f.LoadFile(path, decodeMember); err != nil {
 		return nil, liftFleetErr(err)
 	}
 	return fl, nil
+}
+
+// MemberState is one exported member: the self-contained checkpoint a
+// live migration carries from a source fleet to a target fleet (see
+// Fleet.ExportMember / Fleet.ImportMember). Payload is a complete
+// member artifact with its own CRC32 footer; Kind discriminates the
+// encoding; Samples/Drifts are the lifetime counters the importing
+// fleet carries over so the roll-up neither loses nor double-counts.
+type MemberState struct {
+	ID      string
+	Kind    byte
+	Samples uint64
+	Drifts  uint64
+	Payload []byte
+}
+
+// ExportMember atomically deregisters one member and returns its
+// serialised state — the source half of a live stream migration. The
+// member is removed from the registry first, then encoded after any
+// in-flight batch completes, so the payload is a sample-boundary
+// snapshot and no sample can land on the source after its export.
+// Float members export at their own training precision (exactness is
+// what makes the continuation bit-identical); q16 members export in
+// their exact integer format. A failed export leaves the fleet
+// unchanged.
+func (f *Fleet) ExportMember(id string) (*MemberState, error) {
+	prec := Float64
+	if err := f.f.Do(id, func(s core.Streaming) error {
+		if mon, ok := asMonitor(s); ok {
+			prec = mon.opts.Precision
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	kind, payload, samples, drifts, err := f.f.ExportMember(id, encodeMember(prec))
+	if err != nil {
+		return nil, err
+	}
+	return &MemberState{ID: id, Kind: kind, Samples: samples, Drifts: drifts, Payload: payload}, nil
+}
+
+// ImportMember registers a member exported from another fleet — the
+// target half of a live stream migration. The payload's checksum is
+// verified before registration; corruption fails with ErrBadFormat and
+// registers nothing.
+func (f *Fleet) ImportMember(st *MemberState) error {
+	if st == nil {
+		return fmt.Errorf("edgedrift: import: nil member state")
+	}
+	err := f.f.ImportMember(st.ID, st.Kind, st.Payload, st.Samples, st.Drifts, decodeMember)
+	return liftFleetErr(err)
 }
 
 // liftFleetErr maps the internal container's format error onto the

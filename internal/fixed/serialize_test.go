@@ -1,0 +1,119 @@
+package fixed
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestSaveLoadBitIdenticalContinuation is the QFIX01 contract: save a
+// mid-stream monitor, load it, and the resumed copy must produce
+// bit-identical results to the original on every subsequent sample —
+// including across a drift detection and through the batched path.
+func TestSaveLoadBitIdenticalContinuation(t *testing.T) {
+	det, r := calibratedFloatDetector(t, 42)
+	mon := QuantizeDetector(det)
+	s := NewStream(mon)
+
+	// Drive the stream partway, ending mid-window so the checkpoint
+	// carries non-trivial state-machine and centroid state.
+	for i := 0; i < 137; i++ {
+		s.Process(monSample(r, i%monClasses, 2.5))
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same post-checkpoint samples through both copies, shifted so
+	// drifts fire. Per-sample on the original, batched on the resumed
+	// copy — exercising checkpoint identity and the batch contract at
+	// once.
+	var post [][]float64
+	for i := 0; i < 120; i++ {
+		post = append(post, monSample(r, i%monClasses, 5))
+	}
+	var want []Result
+	for _, x := range post {
+		rr := s.mon.Process(quantize(s, x))
+		want = append(want, rr)
+	}
+	got := resumed.mon.ProcessBatch(nil, quantizeAll(resumed, post))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed monitor diverged from the original after load")
+	}
+	if s.mon.samples != resumed.mon.samples || s.mon.sat != resumed.mon.sat {
+		t.Fatalf("counters diverged: samples %d/%d sat %d/%d",
+			s.mon.samples, resumed.mon.samples, s.mon.sat, resumed.mon.sat)
+	}
+	if !reflect.DeepEqual(s.mon.Events(), resumed.mon.Events()) {
+		t.Fatalf("event logs diverged: %v vs %v", s.mon.Events(), resumed.mon.Events())
+	}
+
+	// Save-load-save byte identity: the artifact is deterministic.
+	var buf2 bytes.Buffer
+	if err := LoadedCopySave(t, buf.Bytes(), &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save-load-save is not byte-identical")
+	}
+}
+
+// LoadedCopySave loads an artifact and re-saves it, for byte-identity
+// checks.
+func LoadedCopySave(t *testing.T, art []byte, w *bytes.Buffer) error {
+	t.Helper()
+	st, err := LoadStream(bytes.NewReader(art))
+	if err != nil {
+		return err
+	}
+	return st.Save(w)
+}
+
+func quantize(s *Stream, x []float64) []Q {
+	out := make([]Q, len(x))
+	for i, v := range x {
+		out[i] = FromFloat(v)
+	}
+	return out
+}
+
+func quantizeAll(s *Stream, xs [][]float64) [][]Q {
+	out := make([][]Q, len(xs))
+	for i, x := range xs {
+		out[i] = quantize(s, x)
+	}
+	return out
+}
+
+// TestLoadCorruptionQFIX flips every byte of the artifact in turn and
+// truncates it at several lengths; every damage must fail with
+// ErrBadFormat, never a panic or a silently-wrong monitor.
+func TestLoadCorruptionQFIX(t *testing.T) {
+	det, _ := calibratedFloatDetector(t, 7)
+	s := NewStream(QuantizeDetector(det))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	art := buf.Bytes()
+	for pos := 0; pos < len(art); pos++ {
+		bad := append([]byte(nil), art...)
+		bad[pos] ^= 0x40
+		if _, err := LoadStream(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrBadFormat", pos, err)
+		}
+	}
+	for _, n := range []int{0, 3, 6, 10, len(art) / 2, len(art) - 1} {
+		if _, err := LoadStream(bytes.NewReader(art[:n])); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrBadFormat", n, err)
+		}
+	}
+}

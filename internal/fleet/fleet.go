@@ -145,13 +145,21 @@ func (f *Fleet) shardOf(id string) *shard {
 // Add registers a stream. The stage must not be shared with another
 // member or used directly afterwards — the fleet owns its schedule.
 func (f *Fleet) Add(id string, s core.Streaming) error {
+	return f.addMember(id, s, 0, 0)
+}
+
+// addMember is Add with explicit starting lifetime counters — the shared
+// registration path of Add (zero counters) and ImportMember (counters
+// carried over from the exporting fleet so a migrated stream's roll-up
+// neither loses nor double-counts samples).
+func (f *Fleet) addMember(id string, s core.Streaming, samples, drifts uint64) error {
 	if id == "" {
 		return fmt.Errorf("fleet: empty stream ID")
 	}
 	if s == nil {
 		return fmt.Errorf("fleet: stream %q: nil stage", id)
 	}
-	mb := &member{stage: s}
+	mb := &member{stage: s, samples: samples, drifts: drifts}
 	if f.cfg.Instrument {
 		mb.instr = core.NewInstrumented(s, core.InstrumentConfig{
 			StreamID:    id,
@@ -389,9 +397,7 @@ func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
 func (f *Fleet) Health() health.Snapshot {
 	var snaps []health.Snapshot
 	f.eachMember(func(id string, m *member) {
-		m.mu.Lock()
 		snaps = append(snaps, m.stage.Health())
-		m.mu.Unlock()
 	})
 	return health.Aggregate(snaps)
 }
@@ -431,14 +437,12 @@ type Metrics struct {
 func (f *Fleet) Metrics() Metrics {
 	m := Metrics{PerStream: make(map[string]StreamMetrics, f.Len())}
 	f.eachMember(func(id string, mb *member) {
-		mb.mu.Lock()
 		sm := StreamMetrics{Samples: mb.samples, Drifts: mb.drifts}
 		if mb.instr != nil {
 			stage := mb.instr.Metrics()
 			sm.Stage = &stage
 		}
 		m.MemoryBytes += mb.stage.MemoryBytes() + len(id) + memberOverheadBytes
-		mb.mu.Unlock()
 		m.Streams++
 		m.Samples += sm.Samples
 		m.Drifts += sm.Drifts
@@ -454,11 +458,9 @@ func (f *Fleet) Metrics() Metrics {
 func (f *Fleet) Traces() map[string][]core.TraceEvent {
 	out := map[string][]core.TraceEvent{}
 	f.eachMember(func(id string, mb *member) {
-		mb.mu.Lock()
 		if mb.instr != nil {
 			out[id] = mb.instr.Trace()
 		}
-		mb.mu.Unlock()
 	})
 	return out
 }
@@ -467,9 +469,7 @@ func (f *Fleet) Traces() map[string][]core.TraceEvent {
 func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 	out := make(map[string]health.Snapshot, f.Len())
 	f.eachMember(func(id string, m *member) {
-		m.mu.Lock()
 		out[id] = m.stage.Health()
-		m.mu.Unlock()
 	})
 	return out
 }
@@ -488,22 +488,38 @@ const memberOverheadBytes = 72 + 8 + 16
 func (f *Fleet) MemoryBytes() int {
 	total := 0
 	f.eachMember(func(id string, m *member) {
-		m.mu.Lock()
 		total += m.stage.MemoryBytes() + len(id) + memberOverheadBytes
-		m.mu.Unlock()
 	})
 	return total
 }
 
-// eachMember visits every member under its shard's read lock. The
-// visit order is unspecified; callers needing determinism sort by ID.
+// eachMember visits every live member under that member's own lock —
+// never while holding a shard lock. The member set is snapshotted under
+// each shard's read lock first and the shard lock released before any
+// member lock is taken, so a visitor stalled behind one member's long
+// batch (a /metrics or Health scrape, say) cannot block Add/Remove on
+// that shard. Members removed between snapshot and visit are skipped.
+// The visit order is unspecified; callers needing determinism sort by
+// ID.
 func (f *Fleet) eachMember(fn func(id string, m *member)) {
+	type entry struct {
+		id string
+		m  *member
+	}
+	snap := make([]entry, 0, 64)
 	for i := range f.shards {
 		sh := &f.shards[i]
 		sh.mu.RLock()
 		for id, m := range sh.members {
-			fn(id, m)
+			snap = append(snap, entry{id, m})
 		}
 		sh.mu.RUnlock()
+	}
+	for _, e := range snap {
+		e.m.mu.Lock()
+		if !e.m.removed {
+			fn(e.id, e.m)
+		}
+		e.m.mu.Unlock()
 	}
 }

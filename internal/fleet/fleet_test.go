@@ -13,6 +13,7 @@ import (
 	"time"
 	"unsafe"
 
+	"edgedrift/internal/ckpt"
 	"edgedrift/internal/core"
 	"edgedrift/internal/health"
 )
@@ -41,12 +42,15 @@ func (c *countStage) Health() health.Snapshot {
 	return health.Snapshot{SamplesSeen: c.samples, PFinite: true, Phase: "monitoring"}
 }
 
-func encCount(id string, s core.Streaming, w io.Writer) error {
+func encCount(id string, s core.Streaming, w io.Writer) (byte, error) {
 	c := s.(*countStage)
-	return binary.Write(w, binary.LittleEndian, []uint32{uint32(c.samples), uint32(c.driftEvery)})
+	return 0, binary.Write(w, binary.LittleEndian, []uint32{uint32(c.samples), uint32(c.driftEvery)})
 }
 
-func decCount(id string, r io.Reader) (core.Streaming, error) {
+func decCount(id string, kind byte, r io.Reader) (core.Streaming, error) {
+	if kind != 0 {
+		return nil, fmt.Errorf("unexpected member kind %d", kind)
+	}
 	var u [2]uint32
 	if err := binary.Read(r, binary.LittleEndian, u[:]); err != nil {
 		return nil, err
@@ -319,6 +323,214 @@ func TestLoadCorruption(t *testing.T) {
 	}
 }
 
+// TestMemberKindRoundTrip pins the FLEET2 member-kind byte: each
+// member's kind survives save/load independently, and the decoder is
+// handed exactly the kind its encoder recorded.
+func TestMemberKindRoundTrip(t *testing.T) {
+	f := New(Config{})
+	if err := f.Add("a", &countStage{driftEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("b", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Smuggle driftEvery through the kind byte: only the sample count is
+	// in the payload, so a dropped or reordered kind cannot go unnoticed.
+	enc := func(id string, s core.Streaming, w io.Writer) (byte, error) {
+		c := s.(*countStage)
+		if err := putU32(w, uint32(c.samples)); err != nil {
+			return 0, err
+		}
+		return byte(c.driftEvery), nil
+	}
+	dec := func(id string, kind byte, r io.Reader) (core.Streaming, error) {
+		n, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		return &countStage{samples: int(n), driftEvery: int(kind)}, nil
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf, enc); err != nil {
+		t.Fatal(err)
+	}
+	g := New(Config{})
+	if err := g.Load(bytes.NewReader(buf.Bytes()), dec); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[string]int{"a": 1, "b": 2} {
+		if err := g.Do(id, func(s core.Streaming) error {
+			if got := s.(*countStage).driftEvery; got != want {
+				t.Errorf("%s: kind round-tripped to %d, want %d", id, got, want)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadFleet1BackwardCompat hand-assembles a FLEET1 artifact (no
+// kind byte) and checks it still loads, with every member decoding as
+// the implicit kind 0.
+func TestLoadFleet1BackwardCompat(t *testing.T) {
+	var mbuf bytes.Buffer
+	inner := ckpt.NewWriter(&mbuf)
+	if err := binary.Write(inner, binary.LittleEndian, []uint32{5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.WriteFooter(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	if _, err := cw.Write([]byte("FLEET1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := putU32(cw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := putU32(cw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(cw, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := putU64(cw, uint64(mbuf.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Write(mbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteFooter(); err != nil {
+		t.Fatal(err)
+	}
+
+	g := New(Config{})
+	if err := g.Load(bytes.NewReader(buf.Bytes()), decCount); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Do("s", func(s core.Streaming) error {
+		c := s.(*countStage)
+		if c.samples != 5 || c.driftEvery != 3 {
+			t.Errorf("FLEET1 member decoded as %+v", c)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportImportMember locks the migration handoff: export removes
+// the member atomically with a sample-boundary snapshot, import resumes
+// it elsewhere with bit-identical continuation and carried-over
+// lifetime counters — zero lost, zero double-counted.
+func TestExportImportMember(t *testing.T) {
+	f := New(Config{})
+	if err := f.Add("s", &countStage{driftEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProcessBatch("s", samples(7, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	kind, payload, smp, dr, err := f.ExportMember("s", encCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != 0 || smp != 7 || dr != 2 {
+		t.Fatalf("export kind=%d samples=%d drifts=%d, want 0/7/2", kind, smp, dr)
+	}
+	if _, err := f.ProcessBatch("s", samples(1, 0)); err == nil {
+		t.Fatal("exported stream still accepts samples on the source")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("source Len = %d after export, want 0", f.Len())
+	}
+
+	g := New(Config{})
+	if err := g.ImportMember("s", kind, payload, smp, dr, decCount); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ProcessBatch("s", samples(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-identical continuation: an unmigrated reference stage fed the
+	// same 12 samples must agree on the last 5 results.
+	ref := &countStage{driftEvery: 3}
+	var want []core.Result
+	for _, x := range samples(7, 0) {
+		ref.Process(x)
+	}
+	for _, x := range samples(5, 0) {
+		want = append(want, ref.Process(x))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-import results differ from the unmigrated reference")
+	}
+	// Counter carry-over: lifetime counts continue across the move.
+	s2, d2, err := g.MemberStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 12 || d2 != 4 {
+		t.Fatalf("post-import stats = %d/%d, want 12/4", s2, d2)
+	}
+	if m := g.Metrics(); m.Samples != 12 || m.Drifts != 4 {
+		t.Fatalf("roll-up after import = %d/%d, want 12/4", m.Samples, m.Drifts)
+	}
+}
+
+// TestExportMemberFailureRollsBack: a failed encode must leave the
+// fleet exactly as it was — the member re-registered and processable.
+func TestExportMemberFailureRollsBack(t *testing.T) {
+	f := New(Config{})
+	if err := f.Add("s", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encode failed")
+	encFail := func(id string, s core.Streaming, w io.Writer) (byte, error) { return 0, boom }
+	if _, _, _, _, err := f.ExportMember("s", encFail); !errors.Is(err, boom) {
+		t.Fatalf("export err = %v, want the encoder's error", err)
+	}
+	if _, err := f.ProcessBatch("s", samples(3, 0)); err != nil {
+		t.Fatalf("member unusable after failed export: %v", err)
+	}
+	if s, _, err := f.MemberStats("s"); err != nil || s != 3 {
+		t.Fatalf("stats after rollback = %d, %v", s, err)
+	}
+}
+
+// TestImportMemberCorruption: a corrupt payload must fail with
+// ErrBadFormat and register nothing.
+func TestImportMemberCorruption(t *testing.T) {
+	f := New(Config{})
+	if err := f.Add("s", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, smp, dr, err := f.ExportMember("s", encCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(payload); pos++ {
+		bad := append([]byte(nil), payload...)
+		bad[pos] ^= 0x40
+		g := New(Config{})
+		if err := g.ImportMember("s", kind, bad, smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrBadFormat", pos, err)
+		}
+		if g.Len() != 0 {
+			t.Fatalf("flip at byte %d: corrupt import registered a member", pos)
+		}
+	}
+	// Trailing garbage after the footer must also fail.
+	g := New(Config{})
+	if err := g.ImportMember("s", kind, append(payload, 0), smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFormat", err)
+	}
+}
+
 // blockingStage parks every Process call on a gate so tests can hold a
 // batch mid-flight deterministically.
 type blockingStage struct {
@@ -338,6 +550,52 @@ func (b *blockingStage) MemoryBytes() int { return 8 }
 
 func (b *blockingStage) Health() health.Snapshot {
 	return health.Snapshot{SamplesSeen: b.n, PFinite: true, Phase: "monitoring"}
+}
+
+// TestScrapeDoesNotBlockRegistry is the regression test for the
+// eachMember lock-holding bug: a Health (or /metrics) scrape parked on
+// one member's lock behind a long batch used to hold the shard read
+// lock the whole time, so Add/Remove on that shard stalled with it. The
+// fix snapshots the member set and releases the shard lock before
+// visiting, so registry mutation proceeds while the scrape waits.
+func TestScrapeDoesNotBlockRegistry(t *testing.T) {
+	f := New(Config{Shards: 1}) // one shard: every stream contends on the same registry lock
+	st := &blockingStage{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	if err := f.Add("busy", st); err != nil {
+		t.Fatal(err)
+	}
+
+	batchDone := make(chan struct{})
+	go func() {
+		defer close(batchDone)
+		if _, err := f.ProcessBatch("busy", samples(1, 0)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-st.entered // the batch holds the member lock, parked in Process
+
+	healthDone := make(chan struct{})
+	go func() {
+		defer close(healthDone)
+		f.Health()
+	}()
+	// Let the scrape reach the busy member and park on its lock.
+	time.Sleep(20 * time.Millisecond)
+
+	addDone := make(chan error, 1)
+	go func() { addDone <- f.Add("other", &countStage{}) }()
+	select {
+	case err := <-addDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Add blocked behind a Health scrape stalled on a busy member of the same shard")
+	}
+
+	close(st.gate)
+	<-batchDone
+	<-healthDone
 }
 
 // TestRemoveWaitsForInFlightBatch locks the removal contract: Remove

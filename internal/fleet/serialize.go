@@ -13,15 +13,22 @@ import (
 	"edgedrift/internal/core"
 )
 
-// fleetMagicV1 identifies a serialised fleet container (FLEET1): the
+// fleetMagicV1 identifies the original fleet container (FLEET1): the
 // magic, a member count, then each member as (ID, length-prefixed
 // payload) in sorted-ID order. Every member payload is written through
 // its own nested ckpt.Writer and carries its own CRC32 footer, and the
 // whole container — member footers included — is covered by one outer
 // footer. A flipped bit therefore fails twice: once at the damaged
 // member, once at the container level, and the member ID in the error
-// says which stream's state is unusable.
+// says which stream's state is unusable. FLEET1 is load-only now; every
+// member decodes with the implicit kind 0.
 var fleetMagicV1 = [6]byte{'F', 'L', 'E', 'E', 'T', '1'}
+
+// fleetMagicV2 is FLEET1 plus a one-byte member kind between each ID
+// and its payload length, discriminating member encodings (a float
+// Monitor artifact vs. a Q16.16 stage artifact) so mixed-precision
+// fleets round-trip. Save always writes FLEET2; Load accepts both.
+var fleetMagicV2 = [6]byte{'F', 'L', 'E', 'E', 'T', '2'}
 
 // ErrBadFormat reports a stream that is not a serialised fleet of a
 // known version, or one that is truncated or corrupt.
@@ -34,14 +41,16 @@ const (
 	maxLoadIDLen   = 1 << 12
 )
 
-// EncodeFunc serialises one member's stage. The fleet container is
-// generic over the member type, so the caller supplies the encoding —
-// the public Fleet wrapper passes Monitor.Save.
-type EncodeFunc func(id string, s core.Streaming, w io.Writer) error
+// EncodeFunc serialises one member's stage and reports the member-kind
+// byte recorded alongside it. The fleet container is generic over the
+// member type, so the caller supplies the encoding — the public Fleet
+// wrapper maps Monitors to kind 0 and Q16.16 stages to kind 1.
+type EncodeFunc func(id string, s core.Streaming, w io.Writer) (kind byte, err error)
 
-// DecodeFunc reconstructs one member's stage from its payload. The
-// reader is exactly the member's payload; reading past it fails.
-type DecodeFunc func(id string, r io.Reader) (core.Streaming, error)
+// DecodeFunc reconstructs one member's stage from its payload, given
+// the kind byte its encoder recorded (always 0 for FLEET1 artifacts).
+// The reader is exactly the member's payload; reading past it fails.
+type DecodeFunc func(id string, kind byte, r io.Reader) (core.Streaming, error)
 
 // Save serialises the whole fleet to w in sorted-ID order (so identical
 // fleets produce identical bytes). Each member is encoded while holding
@@ -52,7 +61,7 @@ type DecodeFunc func(id string, r io.Reader) (core.Streaming, error)
 func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 	ids := f.IDs()
 	cw := ckpt.NewWriter(w)
-	if _, err := cw.Write(fleetMagicV1[:]); err != nil {
+	if _, err := cw.Write(fleetMagicV2[:]); err != nil {
 		return err
 	}
 	if err := putU32(cw, uint32(len(ids))); err != nil {
@@ -61,8 +70,13 @@ func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 	var buf bytes.Buffer
 	for _, id := range ids {
 		buf.Reset()
+		var kind byte
 		inner := ckpt.NewWriter(&buf)
-		err := f.Do(id, func(s core.Streaming) error { return enc(id, s, inner) })
+		err := f.Do(id, func(s core.Streaming) error {
+			var encErr error
+			kind, encErr = enc(id, s, inner)
+			return encErr
+		})
 		if err != nil {
 			return fmt.Errorf("fleet: save %q: %w", id, err)
 		}
@@ -73,6 +87,9 @@ func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 			return err
 		}
 		if _, err := io.WriteString(cw, id); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte{kind}); err != nil {
 			return err
 		}
 		if err := putU64(cw, uint64(buf.Len())); err != nil {
@@ -95,7 +112,8 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 	if _, err := io.ReadFull(r, got[:]); err != nil {
 		return badFormat(fmt.Errorf("load header: %w", err))
 	}
-	if got != fleetMagicV1 {
+	hasKind := got == fleetMagicV2
+	if got != fleetMagicV1 && !hasKind {
 		return ErrBadFormat
 	}
 	cr := ckpt.NewReader(r)
@@ -120,13 +138,21 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 			return badFormat(err)
 		}
 		id := string(idBytes)
+		var kind byte
+		if hasKind {
+			var kb [1]byte
+			if _, err := io.ReadFull(cr, kb[:]); err != nil {
+				return badFormat(fmt.Errorf("member %q: %w", id, err))
+			}
+			kind = kb[0]
+		}
 		plen, err := getU64(cr)
 		if err != nil {
 			return badFormat(fmt.Errorf("member %q: %w", id, err))
 		}
 		lim := &io.LimitedReader{R: cr, N: int64(plen)}
 		inner := ckpt.NewReader(lim)
-		s, err := dec(id, inner)
+		s, err := dec(id, kind, inner)
 		if err != nil {
 			return badFormat(fmt.Errorf("member %q: %w", id, err))
 		}
@@ -183,6 +209,70 @@ func (f *Fleet) LoadFile(path string, dec DecodeFunc) error {
 		return fmt.Errorf("%w (%s)", err, path)
 	}
 	return nil
+}
+
+// ExportMember atomically deregisters one member and serialises its
+// final state — the source half of a live stream migration. The member
+// is deleted from the registry first (new batches fail with
+// unknown-stream), then encoded under the member lock after any
+// in-flight batch completes, so the payload is a sample-boundary
+// snapshot and no sample can land on the member after its export. The
+// payload carries its own ckpt CRC32 footer; samples/drifts are the
+// lifetime counters the importing fleet must carry over. If encoding
+// fails, the member is re-registered and the fleet is unchanged.
+func (f *Fleet) ExportMember(id string, enc EncodeFunc) (kind byte, payload []byte, samples, drifts uint64, err error) {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	m, ok := sh.members[id]
+	if !ok {
+		sh.mu.Unlock()
+		return 0, nil, 0, 0, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	delete(sh.members, id)
+	sh.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var buf bytes.Buffer
+	cw := ckpt.NewWriter(&buf)
+	kind, err = enc(id, m.stage, cw)
+	if err == nil {
+		err = cw.WriteFooter()
+	}
+	if err != nil {
+		// Roll back: the member must survive a failed export. Taking the
+		// shard lock while holding the member lock is safe — no path in
+		// this package waits on a member lock while holding a shard lock.
+		sh.mu.Lock()
+		if _, exists := sh.members[id]; !exists {
+			sh.members[id] = m
+		}
+		sh.mu.Unlock()
+		return 0, nil, 0, 0, fmt.Errorf("fleet: export %q: %w", id, err)
+	}
+	m.removed = true
+	return kind, buf.Bytes(), m.samples, m.drifts, nil
+}
+
+// ImportMember registers a member from an ExportMember payload — the
+// target half of a live stream migration. The payload's CRC32 footer is
+// verified before registration, and the member starts with the exported
+// lifetime counters so the fleet-level roll-up neither loses nor
+// double-counts samples across the move.
+func (f *Fleet) ImportMember(id string, kind byte, payload []byte, samples, drifts uint64, dec DecodeFunc) error {
+	br := bytes.NewReader(payload)
+	cr := ckpt.NewReader(br)
+	s, err := dec(id, kind, cr)
+	if err != nil {
+		return badFormat(fmt.Errorf("import %q: %w", id, err))
+	}
+	if err := cr.VerifyFooter(); err != nil {
+		return badFormat(fmt.Errorf("import %q: %w", id, err))
+	}
+	if br.Len() != 0 {
+		return badFormat(fmt.Errorf("import %q: %d payload bytes left unconsumed", id, br.Len()))
+	}
+	return f.addMember(id, s, samples, drifts)
 }
 
 // badFormat wraps a load failure so it matches both ErrBadFormat and

@@ -1,0 +1,62 @@
+package router
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring: each shard contributes vnodes points
+// (FNV-1a 64 over "addr#i") and a stream lands on the first point at or
+// after its own hash, wrapping around. Adding a shard therefore only
+// remaps the streams that fall between its new points and their
+// predecessors — about 1/N of the keyspace.
+type ring struct {
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	addr string
+}
+
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{points: make([]point, 0, len(addrs)*vnodes)}
+	for _, addr := range addrs {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{
+				hash: fnv1a(addr + "#" + strconv.Itoa(i)),
+				addr: addr,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// lookup maps a stream to its shard.
+func (r *ring) lookup(stream string) string {
+	h := fnv1a(stream)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// fnv1a is 64-bit FNV-1a with an avalanche finalizer. Bare FNV keeps
+// similar strings close together ("addr#0".."addr#63" land in one tight
+// cluster), which collapses a ring's vnode spread — the mixer scatters
+// the points uniformly.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,348 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/synth"
+	"edgedrift/internal/rng"
+	"edgedrift/internal/shard"
+	"edgedrift/internal/wire"
+)
+
+func TestRingPlacement(t *testing.T) {
+	shards := []string{"10.0.0.1:7600", "10.0.0.2:7600", "10.0.0.3:7600"}
+	r := newRing(shards, 64)
+	owned := map[string]int{}
+	placed := map[string]string{}
+	for i := 0; i < 300; i++ {
+		s := fmt.Sprintf("stream-%d", i)
+		addr := r.lookup(s)
+		if r.lookup(s) != addr {
+			t.Fatal("lookup is not deterministic")
+		}
+		owned[addr]++
+		placed[s] = addr
+	}
+	for _, a := range shards {
+		if owned[a] == 0 {
+			t.Fatalf("shard %s owns no streams: %v", a, owned)
+		}
+	}
+	// Adding a shard must remap only a minority of streams.
+	grown := newRing(append(append([]string(nil), shards...), "10.0.0.4:7600"), 64)
+	moved := 0
+	for s, was := range placed {
+		if grown.lookup(s) != was {
+			moved++
+		}
+	}
+	if moved == 0 || moved > 150 {
+		t.Fatalf("adding a 4th shard moved %d/300 streams, want ~75", moved)
+	}
+}
+
+// testTemplate trains a small monitor on synthetic Gaussian data and
+// returns its artifact plus a drifted stream to replay.
+func testTemplate(t testing.TB) (template []byte, stream [][]float64) {
+	t.Helper()
+	oldC := synth.NewGaussian([][]float64{{0, 0, 0}, {5, 5, 5}}, 0.3)
+	newC := synth.ShiftedGaussian(oldC, 4)
+	r := rng.New(7)
+	trainX, trainY := synth.TrainingSet(oldC, 300, r)
+	st, err := synth.Generate(oldC, newC, 2000, synth.Spec{Kind: synth.Sudden, Start: 1000}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: 2, Inputs: 3, Hidden: 8, Window: 50, NRecon: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf, edgedrift.Float64); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st.X
+}
+
+// startTier spins up n shards and a router over them, all on ephemeral
+// ports, and returns the router plus the shard addresses.
+func startTier(t *testing.T, n int, template []byte) (*Router, string, []string) {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		s, err := shard.New(shard.Config{Template: template})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(ln)
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	r, err := New(Config{Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve(ln)
+	t.Cleanup(func() { r.Close() })
+	return r, ln.Addr().String(), addrs
+}
+
+// localReference replays the template locally for one stream.
+func localReference(t testing.TB, template []byte) *edgedrift.Fleet {
+	t.Helper()
+	f := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	mon, err := edgedrift.LoadMonitor(bytes.NewReader(template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("ref", mon); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestRouterEndToEnd is the distributed tier's integration test: two
+// shards behind a router, four streams driven concurrently through it,
+// one stream live-migrated mid-stream. Every result — including the
+// whole post-migration tail — must be bit-identical to a local,
+// never-migrated replay, with zero lost or double-counted samples.
+func TestRouterEndToEnd(t *testing.T) {
+	template, stream := testTemplate(t)
+	r, addr, shards := startTier(t, 2, template)
+
+	const nStreams, batchLen, total = 4, 100, 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams)
+	for i := 0; i < nStreams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", i)
+			cl, err := wire.DialClient(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			ref := localReference(t, template)
+			for off := 0; off < total; off += batchLen {
+				// Stream s1 migrates to the other shard at sample 800 —
+				// mid-stream, pre-drift, at a batch boundary.
+				if i == 1 && off == 800 {
+					from := r.Where(id)
+					to := shards[0]
+					if from == to {
+						to = shards[1]
+					}
+					if err := r.Migrate(id, to); err != nil {
+						errs <- err
+						return
+					}
+					if r.Where(id) != to {
+						errs <- fmt.Errorf("routing table not flipped for %s", id)
+						return
+					}
+				}
+				xs := stream[off : off+batchLen]
+				got, shed, err := cl.SendBatch(nil, id, xs)
+				if err != nil {
+					errs <- fmt.Errorf("%s@%d: %w", id, off, err)
+					return
+				}
+				if shed != 0 {
+					errs <- fmt.Errorf("%s@%d: %d samples shed under backpressure policy", id, off, shed)
+					return
+				}
+				want, err := ref.ProcessBatch("ref", xs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("%s@%d: routed results diverge from local replay", id, off)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Conservation across the whole tier: every sample sent was
+	// processed exactly once, and exactly one migration happened.
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != nStreams*total {
+		t.Fatalf("tier processed %d samples, sent %d", st.Samples, nStreams*total)
+	}
+	if st.ShedSamples != 0 || st.ShedBatches != 0 {
+		t.Fatalf("unexpected shedding: %+v", st)
+	}
+	if st.MigratedOut != 1 || st.MigratedIn != 1 {
+		t.Fatalf("migration counters: out=%d in=%d, want 1/1", st.MigratedOut, st.MigratedIn)
+	}
+	if st.Streams != nStreams {
+		t.Fatalf("tier has %d streams, want %d", st.Streams, nStreams)
+	}
+
+	// The migrated stream must sit off its ring placement — migration
+	// overrides consistent hashing — while the others stay on theirs.
+	table := r.Streams()
+	if table["s1"] == r.ring.lookup("s1") {
+		t.Fatalf("s1 still on its ring home %s after migration", table["s1"])
+	}
+	for _, id := range []string{"s0", "s2", "s3"} {
+		if table[id] != r.ring.lookup(id) {
+			t.Fatalf("%s moved off its ring home without a migration", id)
+		}
+	}
+}
+
+// TestMigrateRejectsAndRecovers pins the failure paths: an unknown
+// target is refused outright, and a checkpoint-refused export (member
+// mid-reconstruction) leaves the stream serving on its source shard.
+func TestMigrateRejectsAndRecovers(t *testing.T) {
+	template, stream := testTemplate(t)
+	r, addr, shards := startTier(t, 2, template)
+
+	if err := r.Migrate("s", "127.0.0.1:1"); err == nil {
+		t.Fatal("migration to an unknown shard accepted")
+	}
+
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ref := localReference(t, template)
+	check := func(xs [][]float64) {
+		t.Helper()
+		got, _, err := cl.SendBatch(nil, "s", xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.ProcessBatch("ref", xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("results diverge from local replay")
+		}
+	}
+	// Drive into reconstruction (drift at 1000, NRecon 300): the export
+	// must be refused at a mid-reconstruction boundary.
+	for off := 0; off < 1200; off += 100 {
+		check(stream[off : off+100])
+	}
+	home := r.Where("s")
+	to := shards[0]
+	if home == to {
+		to = shards[1]
+	}
+	err = r.Migrate("s", to)
+	if err == nil {
+		t.Fatal("export mid-reconstruction should be refused")
+	}
+	if !strings.Contains(err.Error(), "reconstruction") {
+		t.Fatalf("unexpected migrate error: %v", err)
+	}
+	if r.Where("s") != home {
+		t.Fatal("failed migration flipped the routing entry")
+	}
+	// The stream keeps serving, bit-identically, on its source.
+	for off := 1200; off < 2000; off += 100 {
+		check(stream[off : off+100])
+	}
+}
+
+// TestAdminHandler drives the control plane over HTTP: migrate a
+// stream, read the routing table, scrape metrics.
+func TestAdminHandler(t *testing.T) {
+	template, stream := testTemplate(t)
+	r, addr, shards := startTier(t, 2, template)
+	admin := httptest.NewServer(r.AdminHandler())
+	defer admin.Close()
+
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.SendBatch(nil, "web", stream[:100]); err != nil {
+		t.Fatal(err)
+	}
+
+	to := shards[0]
+	if r.Where("web") == to {
+		to = shards[1]
+	}
+	resp, err := http.PostForm(admin.URL+"/migrate", url.Values{"stream": {"web"}, "to": {to}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/migrate -> %s", resp.Status)
+	}
+	if r.Where("web") != to {
+		t.Fatal("admin migrate did not move the stream")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String()
+	}
+	if got := get("/streams"); !strings.Contains(got, "web "+to) {
+		t.Fatalf("/streams = %q, want web on %s", got, to)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"edgedrift_route_batches_total 1",
+		"edgedrift_route_migrations_total 1",
+		"edgedrift_route_shards 2",
+		"edgedrift_route_streams 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package shard is the per-process half of the distributed serve tier:
+// a TCP server speaking the wire batch-ingest protocol in front of one
+// edgedrift.Fleet. A deployment runs N shard processes behind the
+// consistent-hash router (internal/router); each shard owns a disjoint
+// subset of the streams and lands every Batch frame directly in the
+// fleet's ProcessBatch GEMM path.
+//
+// Ingest is bounded: each connection gets a reader goroutine, a bounded
+// job queue, and one worker goroutine draining it in FIFO order (per
+//-connection arrival order is the per-stream order contract, exactly
+// as with a local fleet). When the queue is full the shed policy
+// decides between backpressure (block the reader — TCP pushes back to
+// the sender) and load-shedding (drop the batch at admission, tell the
+// client with a Shed frame, count it). Shedding never drops silently:
+// a shed batch is never processed, so sent == processed + shed holds
+// exactly — the accounting loadgen asserts.
+//
+// Streams are created on first use by cloning the shard's template
+// artifact, so the router can place new streams anywhere without a
+// control round-trip. Live migration is the fleet member handoff over
+// the wire: MigrateOut exports the member (sample-boundary snapshot,
+// CRC-checksummed payload) and tombstones the stream so a late batch
+// cannot silently respawn a fresh member; MigrateIn imports it with
+// lifetime counters carried over.
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgedrift"
+	"edgedrift/internal/metrics"
+	"edgedrift/internal/wire"
+)
+
+// Config parameterises a shard server.
+type Config struct {
+	// Template is a serialised Monitor artifact (Monitor.Save) cloned
+	// for every stream the shard has not seen before. Required.
+	Template []byte
+	// Precision selects the member backend built from the template:
+	// Float64/Float32 register the loaded Monitor as-is (the artifact's
+	// own backend governs), Fixed16 quantises it to a Q16.16 stage.
+	Precision edgedrift.Precision
+	// QueueDepth bounds each connection's ingest queue in batches;
+	// 0 means 64.
+	QueueDepth int
+	// ShedAfter is the admission policy when a connection's queue is
+	// full: 0 blocks the reader until space frees (pure backpressure —
+	// TCP flow control pushes back to the sender), > 0 waits that long
+	// and then sheds the batch, < 0 sheds immediately.
+	ShedAfter time.Duration
+	// Fleet configures the shard's fleet.
+	Fleet edgedrift.FleetConfig
+	// Logf receives shard lifecycle logs; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is one shard process's ingest server.
+type Server struct {
+	cfg   Config
+	fleet *edgedrift.Fleet
+	ln    net.Listener
+
+	mu         sync.Mutex
+	tombstones map[string]bool // migrated-out streams: never auto-recreate
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	batches     metrics.Counter
+	shedSamples metrics.Counter
+	shedBatches metrics.Counter
+	migratedIn  metrics.Counter
+	migratedOut metrics.Counter
+	queueDepth  atomic.Int64 // queued batches across all connections
+	connections atomic.Int64
+}
+
+// New builds a shard server (not yet listening; call Serve).
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Template) == 0 {
+		return nil, errors.New("shard: config needs a template artifact")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{
+		cfg:        cfg,
+		fleet:      edgedrift.NewFleet(cfg.Fleet),
+		tombstones: map[string]bool{},
+		conns:      map[net.Conn]struct{}{},
+	}
+	// Validate the template once up front so a bad artifact fails at
+	// startup, not on the first stream.
+	if _, err := s.newMember(); err != nil {
+		return nil, fmt.Errorf("shard: bad template: %w", err)
+	}
+	return s, nil
+}
+
+// Fleet exposes the shard's fleet (metrics, health, tests).
+func (s *Server) Fleet() *edgedrift.Fleet { return s.fleet }
+
+// newMember clones the template into a fresh member stage.
+func (s *Server) newMember() (edgedrift.Streaming, error) {
+	mon, err := edgedrift.LoadMonitor(bytes.NewReader(s.cfg.Template))
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Precision == edgedrift.Fixed16 {
+		return mon.QuantizeQ16()
+	}
+	return mon, nil
+}
+
+// ensureStream registers a member for an unseen stream, cloning the
+// template. Returns an error for tombstoned (migrated-out) streams.
+func (s *Server) ensureStream(stream string) error {
+	s.mu.Lock()
+	if s.tombstones[stream] {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: stream %q migrated out", stream)
+	}
+	s.mu.Unlock()
+	st, err := s.newMember()
+	if err != nil {
+		return err
+	}
+	err = s.fleet.AddStage(stream, st)
+	if err != nil && isAlreadyRegistered(err) {
+		return nil // lost a create race; the member exists
+	}
+	return err
+}
+
+// isAlreadyRegistered matches the fleet's duplicate-Add error.
+func isAlreadyRegistered(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "already registered")
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error (net.ErrClosed after a clean Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	s.ln = ln
+	s.connMu.Unlock()
+	if s.closed.Load() { // Close raced ahead of us
+		ln.Close()
+		return net.ErrClosed
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return net.ErrClosed
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		s.connections.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, nc)
+				s.connMu.Unlock()
+				s.connections.Add(-1)
+				nc.Close()
+			}()
+			s.serveConn(wire.NewConn(nc))
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// the per-connection goroutines to drain.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	s.connMu.Lock()
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// job is one admitted batch: the decoded samples (job-owned — the
+// frame buffer is reused by the reader) and the stream they belong to.
+type job struct {
+	stream string
+	xs     [][]float64
+}
+
+// serveConn runs one connection: handshake, then the reader loop
+// feeding a bounded queue drained by one worker goroutine. Batches are
+// admitted (or shed) here; control frames (stats, migration) are
+// answered inline — the router fences migrations so no batch for the
+// moving stream is in flight anywhere when MigrateOut arrives.
+func (s *Server) serveConn(c *wire.Conn) {
+	if err := c.AcceptHandshake(); err != nil {
+		return
+	}
+	jobs := make(chan job, s.cfg.QueueDepth)
+	var workerWg sync.WaitGroup
+	workerWg.Add(1)
+	go func() {
+		defer workerWg.Done()
+		s.worker(c, jobs)
+	}()
+	defer func() {
+		close(jobs)
+		workerWg.Wait()
+	}()
+
+	for {
+		typ, p, err := c.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.closed.Load() {
+				s.cfg.Logf("shard: connection error: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case wire.TypeBatch:
+			b, err := wire.ParseBatch(p)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				return
+			}
+			j := job{stream: b.Stream, xs: b.Decode(nil)}
+			if !s.admit(c, jobs, j) {
+				return
+			}
+		case wire.TypeMigrateOut:
+			stream, err := parseStreamOnly(p)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				return
+			}
+			s.migrateOut(c, stream)
+		case wire.TypeMigrateIn:
+			st, err := wire.ParseState(p)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				return
+			}
+			s.migrateIn(c, st)
+		case wire.TypeStats:
+			c.WriteFrame(wire.TypeStatsReply, wire.AppendStats(nil, s.Stats()))
+		default:
+			c.WriteFrame(wire.TypeError, []byte(fmt.Sprintf("unexpected frame type %#x", typ)))
+			return
+		}
+	}
+}
+
+// admit enqueues a batch under the shed policy. Returns false only on
+// a write failure (connection is dead).
+func (s *Server) admit(c *wire.Conn, jobs chan job, j job) bool {
+	// Fast path: space available.
+	select {
+	case jobs <- j:
+		s.queueDepth.Add(1)
+		return true
+	default:
+	}
+	if s.cfg.ShedAfter == 0 {
+		// Pure backpressure: block the reader; TCP flow control stalls
+		// the sender until the worker catches up.
+		jobs <- j
+		s.queueDepth.Add(1)
+		return true
+	}
+	if s.cfg.ShedAfter > 0 {
+		t := time.NewTimer(s.cfg.ShedAfter)
+		defer t.Stop()
+		select {
+		case jobs <- j:
+			s.queueDepth.Add(1)
+			return true
+		case <-t.C:
+		}
+	}
+	// Shed: the batch is dropped at admission, never processed.
+	s.shedBatches.Inc()
+	s.shedSamples.Add(uint64(len(j.xs)))
+	return c.WriteFrame(wire.TypeShed, wire.AppendShed(nil, j.stream, len(j.xs))) == nil
+}
+
+// worker drains one connection's queue in FIFO order: per-connection
+// arrival order is the per-stream sample order, as with a local fleet.
+func (s *Server) worker(c *wire.Conn, jobs chan job) {
+	var results []edgedrift.Result
+	var ack []byte
+	for j := range jobs {
+		s.queueDepth.Add(-1)
+		var err error
+		results, err = s.fleet.ProcessBatchInto(results[:0], j.stream, j.xs)
+		if err != nil {
+			// Unknown stream: first sight — clone the template and retry.
+			if cerr := s.ensureStream(j.stream); cerr != nil {
+				c.WriteFrame(wire.TypeError, []byte(cerr.Error()))
+				continue
+			}
+			results, err = s.fleet.ProcessBatchInto(results[:0], j.stream, j.xs)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				continue
+			}
+		}
+		s.batches.Inc()
+		ack = wire.AppendResults(ack[:0], j.stream, results)
+		if err := c.WriteFrame(wire.TypeBatchAck, ack); err != nil {
+			return
+		}
+	}
+}
+
+// migrateOut exports a member and tombstones the stream.
+func (s *Server) migrateOut(c *wire.Conn, stream string) {
+	st, err := s.fleet.ExportMember(stream)
+	if err != nil {
+		c.WriteFrame(wire.TypeError, []byte(err.Error()))
+		return
+	}
+	s.mu.Lock()
+	s.tombstones[stream] = true
+	s.mu.Unlock()
+	s.migratedOut.Inc()
+	c.WriteFrame(wire.TypeState, wire.AppendState(nil, wire.State{
+		Stream:  stream,
+		Kind:    st.Kind,
+		Samples: st.Samples,
+		Drifts:  st.Drifts,
+		Payload: st.Payload,
+	}))
+}
+
+// migrateIn imports a member exported by another shard.
+func (s *Server) migrateIn(c *wire.Conn, st wire.State) {
+	err := s.fleet.ImportMember(&edgedrift.MemberState{
+		ID:      st.Stream,
+		Kind:    st.Kind,
+		Samples: st.Samples,
+		Drifts:  st.Drifts,
+		Payload: append([]byte(nil), st.Payload...),
+	})
+	if err != nil {
+		c.WriteFrame(wire.TypeError, []byte(err.Error()))
+		return
+	}
+	s.mu.Lock()
+	delete(s.tombstones, st.Stream) // the stream may return later
+	s.mu.Unlock()
+	s.migratedIn.Inc()
+	c.WriteFrame(wire.TypeMigrateAck, nil)
+}
+
+// Stats snapshots the shard's counters for the wire Stats reply.
+func (s *Server) Stats() wire.Stats {
+	m := s.fleet.Metrics()
+	qd := s.queueDepth.Load()
+	if qd < 0 {
+		qd = 0
+	}
+	return wire.Stats{
+		Streams:     uint32(m.Streams),
+		Samples:     m.Samples,
+		Drifts:      m.Drifts,
+		Batches:     s.batches.Load(),
+		ShedSamples: s.shedSamples.Load(),
+		ShedBatches: s.shedBatches.Load(),
+		MigratedIn:  s.migratedIn.Load(),
+		MigratedOut: s.migratedOut.Load(),
+		QueueDepth:  uint32(qd),
+	}
+}
+
+// WriteMetrics renders the shard's Prometheus exposition: the fleet's
+// full roll-up plus the shard-level ingest families.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if err := s.fleet.WriteMetrics(w); err != nil {
+		return err
+	}
+	tw := metrics.NewTextWriter(w)
+	tw.Counter("edgedrift_shard_batches_total", "Batches processed by this shard.", nil, s.batches.Load())
+	tw.Counter("edgedrift_shard_shed_batches_total", "Batches dropped at admission (queue full past the shed deadline).", nil, s.shedBatches.Load())
+	tw.Counter("edgedrift_shard_shed_samples_total", "Samples inside shed batches (never processed).", nil, s.shedSamples.Load())
+	tw.Counter("edgedrift_shard_migrations_in_total", "Streams imported via live migration.", nil, s.migratedIn.Load())
+	tw.Counter("edgedrift_shard_migrations_out_total", "Streams exported via live migration.", nil, s.migratedOut.Load())
+	tw.Gauge("edgedrift_shard_queue_depth", "Batches queued across all ingest connections.", nil, float64(s.queueDepth.Load()))
+	tw.Gauge("edgedrift_shard_connections", "Live ingest connections.", nil, float64(s.connections.Load()))
+	return tw.Err()
+}
+
+// MetricsHandler serves WriteMetrics over HTTP (the /metrics endpoint).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// parseStreamOnly parses a payload that is exactly one stream name.
+func parseStreamOnly(p []byte) (string, error) {
+	stream, rest, err := wire.ParseStream(p)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("wire: %d trailing bytes after stream name", len(rest))
+	}
+	return stream, nil
+}

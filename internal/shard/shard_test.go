@@ -1,0 +1,380 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edgedrift"
+	"edgedrift/internal/core"
+	"edgedrift/internal/datasets/synth"
+	"edgedrift/internal/rng"
+	"edgedrift/internal/wire"
+)
+
+// testTemplate trains a small monitor on synthetic Gaussian data and
+// returns its serialised artifact plus a drifted stream to replay.
+func testTemplate(t testing.TB) (template []byte, stream [][]float64) {
+	t.Helper()
+	oldC := synth.NewGaussian([][]float64{{0, 0, 0}, {5, 5, 5}}, 0.3)
+	newC := synth.ShiftedGaussian(oldC, 4)
+	r := rng.New(7)
+	trainX, trainY := synth.TrainingSet(oldC, 300, r)
+	st, err := synth.Generate(oldC, newC, 3000, synth.Spec{Kind: synth.Sudden, Start: 1000}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := edgedrift.New(edgedrift.Options{
+		Classes: 2, Inputs: 3, Hidden: 8, Window: 50, NRecon: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf, edgedrift.Float64); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st.X
+}
+
+// startShard builds and serves a shard on an ephemeral port.
+func startShard(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+// referenceFleet replays the template locally — the ground truth every
+// shard result must match bit-for-bit.
+func referenceFleet(t *testing.T, template []byte, prec edgedrift.Precision, streams ...string) *edgedrift.Fleet {
+	t.Helper()
+	f := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	for _, id := range streams {
+		mon, err := edgedrift.LoadMonitor(bytes.NewReader(template))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st edgedrift.Streaming = mon
+		if prec == edgedrift.Fixed16 {
+			if st, err = mon.QuantizeQ16(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.AddStage(id, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestShardBatchIngest drives two streams through a shard over TCP and
+// asserts every result is bit-identical to a local fleet replay.
+func TestShardBatchIngest(t *testing.T) {
+	template, stream := testTemplate(t)
+	_, addr := startShard(t, Config{Template: template})
+	ref := referenceFleet(t, template, edgedrift.Float64, "a", "b")
+
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const batchLen = 100
+	for off := 0; off+batchLen <= 1000; off += batchLen {
+		xs := stream[off : off+batchLen]
+		for _, id := range []string{"a", "b"} {
+			got, shed, err := cl.SendBatch(nil, id, xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shed != 0 {
+				t.Fatalf("unexpected shed of %d samples with backpressure policy", shed)
+			}
+			want, err := ref.ProcessBatch(id, xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: shard results diverge from local replay at offset %d", id, off)
+			}
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streams != 2 || st.Samples != 2000 || st.ShedSamples != 0 {
+		t.Fatalf("stats = %+v, want 2 streams / 2000 samples / 0 shed", st)
+	}
+}
+
+// TestShardShedAccounting pins the shed policy's books: with an
+// immediate-shed queue and the worker busy, pipelined batches are
+// dropped at admission — and sent == processed + shed holds exactly.
+func TestShardShedAccounting(t *testing.T) {
+	template, stream := testTemplate(t)
+	s, addr := startShard(t, Config{Template: template, QueueDepth: 2, ShedAfter: -1})
+
+	conn, err := wire.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Pipeline: blast batches without reading acks, then drain. The
+	// worker can't keep up with a zero-latency sender, so the 2-deep
+	// queue must overflow and shed.
+	const nBatches, batchLen = 40, 64
+	sent := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	acked, shedSamples := 0, 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nBatches; i++ {
+			typ, p, err := conn.ReadFrame()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch typ {
+			case wire.TypeBatchAck:
+				_, rs, err := wire.ParseResults(p, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				acked += len(rs)
+			case wire.TypeShed:
+				_, n, err := wire.ParseShed(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				shedSamples += n
+			default:
+				t.Errorf("unexpected frame %#x", typ)
+				return
+			}
+		}
+	}()
+	var payload []byte
+	for i := 0; i < nBatches; i++ {
+		off := (i * batchLen) % (len(stream) - batchLen)
+		payload, err = wire.AppendBatch(payload[:0], "s", stream[off:off+batchLen])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.WriteFrame(wire.TypeBatch, payload); err != nil {
+			t.Fatal(err)
+		}
+		sent += batchLen
+	}
+	wg.Wait()
+
+	if acked+shedSamples != sent {
+		t.Fatalf("accounting broken: acked %d + shed %d != sent %d", acked, shedSamples, sent)
+	}
+	st := s.Stats()
+	if st.Samples != uint64(acked) {
+		t.Fatalf("shard processed %d samples, acked %d — a shed batch was processed", st.Samples, acked)
+	}
+	if st.ShedSamples != uint64(shedSamples) {
+		t.Fatalf("shard shed counter %d, client saw %d", st.ShedSamples, shedSamples)
+	}
+}
+
+// TestShardMigration moves a live stream between two shards mid-stream
+// and asserts bit-identical continuation and exact counter carry-over.
+func TestShardMigration(t *testing.T) {
+	template, stream := testTemplate(t)
+	a, addrA := startShard(t, Config{Template: template})
+	b, addrB := startShard(t, Config{Template: template})
+	ref := referenceFleet(t, template, edgedrift.Float64, "mig")
+
+	clA, err := wire.DialClient(addrA, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clA.Close()
+	clB, err := wire.DialClient(addrB, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clB.Close()
+
+	check := func(cl *wire.Client, xs [][]float64) {
+		t.Helper()
+		got, shed, err := cl.SendBatch(nil, "mig", xs)
+		if err != nil || shed != 0 {
+			t.Fatal(err, shed)
+		}
+		want, err := ref.ProcessBatch("mig", xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("results diverge from unmigrated reference")
+		}
+	}
+
+	// First 1500 samples on shard A — through the drift at 1000 AND the
+	// reconstruction that follows (checkpointing is refused
+	// mid-reconstruction, so a migration point must sit past it).
+	for off := 0; off < 1500; off += 100 {
+		check(clA, stream[off:off+100])
+	}
+	// Live migration: export from A, import to B.
+	st, err := clA.MigrateOut("mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clB.MigrateIn(st); err != nil {
+		t.Fatal(err)
+	}
+	// A late batch at the old home must fail loudly, not respawn a
+	// fresh member from the template.
+	if _, _, err := clA.SendBatch(nil, "mig", stream[1500:1600]); err == nil {
+		t.Fatal("tombstoned stream accepted a batch on the source shard")
+	} else {
+		var re *wire.RemoteError
+		if !errors.As(err, &re) || !strings.Contains(re.Msg, "migrated out") {
+			t.Fatalf("tombstone error = %v", err)
+		}
+	}
+	// Continuation on shard B stays bit-identical.
+	for off := 1500; off < 3000; off += 100 {
+		check(clB, stream[off:off+100])
+	}
+
+	// Accounting: zero lost, zero double-counted across the move. The
+	// exported member leaves the source roll-up entirely (its lifetime
+	// counters travel with it), so all 3000 samples live on B.
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Samples != 0 || sa.Streams != 0 {
+		t.Fatalf("source shard kept %d samples / %d streams after export", sa.Samples, sa.Streams)
+	}
+	if sb.Samples != 3000 {
+		t.Fatalf("target shard samples = %d, want 3000 (carried counters + new batches)", sb.Samples)
+	}
+	if sa.MigratedOut != 1 || sb.MigratedIn != 1 {
+		t.Fatalf("migration counters: out=%d in=%d", sa.MigratedOut, sb.MigratedIn)
+	}
+	refS, refD, err := ref.MemberStats("mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bS, bD, err := b.Fleet().MemberStats("mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bS != refS || bD != refD {
+		t.Fatalf("migrated counters %d/%d, reference %d/%d", bS, bD, refS, refD)
+	}
+}
+
+// TestShardQ16Members runs a q16 shard end to end — template quantised
+// at member creation, results bit-identical to a local q16 replay, and
+// migration of the q16 member to a second shard.
+func TestShardQ16Members(t *testing.T) {
+	template, stream := testTemplate(t)
+	cfg := Config{Template: template, Precision: edgedrift.Fixed16}
+	_, addrA := startShard(t, cfg)
+	_, addrB := startShard(t, cfg)
+	ref := referenceFleet(t, template, edgedrift.Fixed16, "q")
+
+	clA, err := wire.DialClient(addrA, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clA.Close()
+	clB, err := wire.DialClient(addrB, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clB.Close()
+
+	run := func(cl *wire.Client, xs [][]float64) []core.Result {
+		t.Helper()
+		got, shed, err := cl.SendBatch(nil, "q", xs)
+		if err != nil || shed != 0 {
+			t.Fatal(err, shed)
+		}
+		return got
+	}
+	got := run(clA, stream[:800])
+	want, err := ref.ProcessBatch("q", stream[:800])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("q16 shard results diverge from local q16 replay")
+	}
+	st, err := clA.MigrateOut("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != 1 {
+		t.Fatalf("q16 member exported with kind %d, want 1", st.Kind)
+	}
+	if err := clB.MigrateIn(st); err != nil {
+		t.Fatal(err)
+	}
+	got = run(clB, stream[800:2000])
+	want, err = ref.ProcessBatch("q", stream[800:2000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("migrated q16 member diverged from unmigrated replay")
+	}
+}
+
+// TestShardMetricsExposition checks the shard families render alongside
+// the fleet roll-up.
+func TestShardMetricsExposition(t *testing.T) {
+	template, stream := testTemplate(t)
+	s, addr := startShard(t, Config{Template: template})
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.SendBatch(nil, "s", stream[:100]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"edgedrift_samples_total 100",
+		"edgedrift_shard_batches_total 1",
+		"edgedrift_shard_shed_samples_total 0",
+		"edgedrift_shard_queue_depth 0",
+		"edgedrift_shard_migrations_out_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"net"
+	"reflect"
+	"testing"
+
+	"edgedrift/internal/core"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	xs := [][]float64{
+		{1.5, -2.25, math.Inf(1)},
+		{0, math.NaN(), 3.75},
+	}
+	p, err := AppendBatch(nil, "sensor-7", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stream != "sensor-7" || b.Dims != 3 || b.Count != 2 {
+		t.Fatalf("header = %q %dx%d", b.Stream, b.Count, b.Dims)
+	}
+	got := b.Decode(nil)
+	for i := range xs {
+		for j := range xs[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(xs[i][j]) {
+				t.Fatalf("sample %d[%d]: %v != %v (bit-exact)", i, j, got[i][j], xs[i][j])
+			}
+		}
+	}
+}
+
+func TestBatchRejects(t *testing.T) {
+	if _, err := AppendBatch(nil, "", [][]float64{{1}}); err == nil {
+		t.Fatal("empty stream name accepted")
+	}
+	if _, err := AppendBatch(nil, "s", nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := AppendBatch(nil, "s", [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	p, _ := AppendBatch(nil, "s", [][]float64{{1, 2}})
+	if _, err := ParseBatch(p[:len(p)-1]); err == nil {
+		t.Fatal("truncated batch parsed")
+	}
+}
+
+func TestResultsRoundTripBitExact(t *testing.T) {
+	rs := []core.Result{
+		{Label: 3, Score: 0.123456789, Phase: core.Checking, Dist: 1.5},
+		{Label: -1, Score: math.Inf(1), Phase: core.Reconstructing, DriftDetected: true, Dist: 42.000000001},
+		{Label: 0, Score: 0, Phase: core.Monitoring, Rejected: true},
+	}
+	p := AppendResults(nil, "s", rs)
+	stream, got, err := ParseResults(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream != "s" {
+		t.Fatalf("stream = %q", stream)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Fatalf("results round trip:\n got %+v\nwant %+v", got, rs)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := State{Stream: "mig", Kind: 1, Samples: 1 << 40, Drifts: 7, Payload: []byte{1, 2, 3}}
+	got, err := ParseState(AppendState(nil, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("state round trip: %+v != %+v", got, st)
+	}
+}
+
+func TestShedAndStatsRoundTrip(t *testing.T) {
+	stream, n, err := ParseShed(AppendShed(nil, "s", 640))
+	if err != nil || stream != "s" || n != 640 {
+		t.Fatalf("shed round trip: %q %d %v", stream, n, err)
+	}
+	s := Stats{Streams: 3, Samples: 1000, Drifts: 5, Batches: 40, ShedSamples: 64,
+		ShedBatches: 1, MigratedIn: 2, MigratedOut: 1, QueueDepth: 9}
+	got, err := ParseStats(AppendStats(nil, s))
+	if err != nil || got != s {
+		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+}
+
+// TestFramedExchange runs the handshake and a batch request/reply over
+// a real TCP socket pair.
+func TestFramedExchange(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serverErr := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		sc := NewConn(nc)
+		if err := sc.AcceptHandshake(); err != nil {
+			serverErr <- err
+			return
+		}
+		typ, p, err := sc.ReadFrame()
+		if err != nil || typ != TypeBatch {
+			serverErr <- err
+			return
+		}
+		b, err := ParseBatch(p)
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		rs := make([]core.Result, b.Count)
+		for i := range rs {
+			rs[i] = core.Result{Label: i, Score: float64(i), Phase: core.Monitoring}
+		}
+		serverErr <- sc.WriteFrame(TypeBatchAck, AppendResults(nil, b.Stream, rs))
+	}()
+
+	cl, err := DialClient(ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, shed, err := cl.SendBatch(nil, "s", [][]float64{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shed != 0 || len(rs) != 3 || rs[2].Label != 2 {
+		t.Fatalf("reply = shed %d, %+v", shed, rs)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandshakeRejectsGarbage: a non-protocol peer must fail the
+// handshake, not hang or crash the server loop.
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- NewConn(nc).AcceptHandshake()
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := NewConn(nc)
+	if err := c.WriteFrame(TypeHello, []byte("BOGUS")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrProtocol) {
+		t.Fatalf("server accepted garbage hello: %v", err)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length prefix
+	_, _, err := NewConn(b).ReadFrame()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("implausible frame length accepted: %v", err)
+	}
+}

@@ -153,3 +153,136 @@ func TestMixedPrecisionFleet(t *testing.T) {
 		t.Fatal("fleet memory audit is non-positive")
 	}
 }
+
+// TestMixedPrecisionFleetCheckpoint is the regression test for the
+// mixed-precision save bug: Fleet.Save used to error on any AddStage
+// (Q16.16) member. The FLEET2 member-kind byte must round-trip a fleet
+// hosting all three backends, and every member — q16 included — must
+// continue bit-identically after the reload.
+func TestMixedPrecisionFleetCheckpoint(t *testing.T) {
+	fx := newFleetFixture(t)
+	f := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	if err := f.Add("f64", precisionMonitor(t, fx, edgedrift.Float64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("f32", precisionMonitor(t, fx, edgedrift.Float32)); err != nil {
+		t.Fatal(err)
+	}
+	donor := precisionMonitor(t, fx, edgedrift.Float64)
+	q16, err := donor.QuantizeQ16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddStage("q16", q16); err != nil {
+		t.Fatal(err)
+	}
+	// Drive all members partway so the checkpoint carries live state.
+	mid := fx.stream[:700]
+	rest := fx.stream[700:1700]
+	for _, id := range f.IDs() {
+		if _, err := f.ProcessBatch(id, mid); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := f.Save(&buf, edgedrift.Float64); err != nil {
+		t.Fatalf("mixed-precision Save failed: %v", err)
+	}
+	g, err := edgedrift.LoadFleet(bytes.NewReader(buf.Bytes()), edgedrift.FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.IDs(), f.IDs()) {
+		t.Fatalf("IDs after load: %v", g.IDs())
+	}
+	// Bit-identical continuation, every backend: the original fleet and
+	// the reloaded one must agree result-for-result on the rest of the
+	// stream. (The f32 member was saved at Float64, which is lossless
+	// for float32 state.)
+	for _, id := range g.IDs() {
+		want, err := f.ProcessBatch(id, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.ProcessBatch(id, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: reloaded member diverged from the original", id)
+		}
+	}
+}
+
+// TestExportImportQ16Member migrates a Q16.16 member between two fleets
+// through the public Export/ImportMember pair — the prerequisite the
+// distributed tier relies on to move q16 streams between shards.
+func TestExportImportQ16Member(t *testing.T) {
+	fx := newFleetFixture(t)
+	donor := precisionMonitor(t, fx, edgedrift.Float64)
+	q16, err := donor.QuantizeQ16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	if err := src.AddStage("q", q16); err != nil {
+		t.Fatal(err)
+	}
+	// Reference stage, never migrated, fed the identical stream.
+	refDonor := precisionMonitor(t, fx, edgedrift.Float64)
+	refStage, err := refDonor.QuantizeQ16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	if err := ref.AddStage("q", refStage); err != nil {
+		t.Fatal(err)
+	}
+
+	pre, post := fx.stream[:800], fx.stream[800:2000]
+	if _, err := src.ProcessBatch("q", pre); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.ProcessBatch("q", pre); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := src.ExportMember("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != 1 || st.Samples != uint64(len(pre)) {
+		t.Fatalf("export state kind=%d samples=%d, want kind 1, %d samples", st.Kind, st.Samples, len(pre))
+	}
+	if src.Len() != 0 {
+		t.Fatalf("source Len = %d after export", src.Len())
+	}
+	dst := edgedrift.NewFleet(edgedrift.FleetConfig{})
+	if err := dst.ImportMember(st); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := dst.ProcessBatch("q", post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ProcessBatch("q", post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("migrated q16 member diverged from the unmigrated reference")
+	}
+	s, d, err := dst.MemberStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rd, err := ref.MemberStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != rs || d != rd {
+		t.Fatalf("migrated counters %d/%d, reference %d/%d", s, d, rs, rd)
+	}
+}
