@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen bench-coop fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -98,6 +98,13 @@ bench-compare:
 bench-loadgen:
 	$(GO) build -o bin/driftbench ./cmd/driftbench
 	./bin/driftbench loadgen -shard-range 1,2,4 -streams 16 -samples 20480 -json BENCH_7.json
+
+# Cooperative vs per-stream drift recovery on the cooling-fan
+# scenarios: cold rebuild against warm-seeding from the closed-form
+# merge of adapted cohort peers, written as the BENCH_8 artifact. Exits
+# non-zero if warm recovery is not strictly faster.
+bench-coop:
+	$(GO) run ./cmd/driftbench coop -json BENCH_8.json
 
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`

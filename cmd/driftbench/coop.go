@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"edgedrift/internal/eval"
+)
+
+// runCoop is the `driftbench coop` subcommand: the ext-coop experiment
+// as a tracked artifact. It runs the per-stream (cold) vs cooperative
+// (warm) post-drift recovery comparison on the cooling-fan scenarios
+// and, with -json, writes the comparison as the BENCH_8 artifact CI
+// uploads. The human-readable table on stdout is the same one
+// `driftbench -exp ext-coop` prints.
+func runCoop(args []string) int {
+	fs := flag.NewFlagSet("coop", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "random seed for data and models")
+	jsonPath := fs.String("json", "", "also write the comparison as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cmp, err := eval.RunCoop(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coop:", err)
+		return 1
+	}
+	out := eval.CoopOutcome(cmp)
+	for _, t := range out.Tables {
+		fmt.Println(t)
+	}
+	for _, s := range cmp.Scenarios {
+		if s.WarmRecoverySamples < 0 {
+			fmt.Fprintf(os.Stderr, "coop: %s: warm recovery never converged\n", s.Scenario)
+			return 1
+		}
+		if s.ColdRecoverySamples >= 0 && s.WarmRecoverySamples >= s.ColdRecoverySamples {
+			fmt.Fprintf(os.Stderr, "coop: %s: warm recovery (%d) not faster than cold (%d)\n",
+				s.Scenario, s.WarmRecoverySamples, s.ColdRecoverySamples)
+			return 1
+		}
+	}
+
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coop:", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "coop:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return 0
+}

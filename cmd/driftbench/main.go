@@ -16,6 +16,7 @@
 //	driftbench shard -addr :7600      # one shard of the distributed serve tier
 //	driftbench route -shards host1:7600,host2:7600  # consistent-hash router
 //	driftbench loadgen -shard-range 1,2,4 -json BENCH_7.json  # tier scaling curve
+//	driftbench coop -json BENCH_8.json  # cooperative vs per-stream drift recovery
 package main
 
 import (
@@ -54,6 +55,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		os.Exit(runLoadgen(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "coop" {
+		os.Exit(runCoop(os.Args[2:]))
 	}
 	os.Exit(run())
 }

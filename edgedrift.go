@@ -351,6 +351,36 @@ func (m *Monitor) QuantizeQ16() (Streaming, error) {
 	return fixed.NewStream(fixed.QuantizeDetector(m.det)), nil
 }
 
+// MergeFingerprint returns the monitor's merge-compatibility
+// fingerprint (see core.Merger). Two monitors can exchange merge state
+// iff their fingerprints match: same shape, activation, precision, RLS
+// constants, and seed topology (bit-identical random projections).
+func (m *Monitor) MergeFingerprint() uint64 { return m.det.MergeFingerprint() }
+
+// ExportMergeState serialises the monitor's trained model state into a
+// blob a compatible peer's MergeSeed can consume — the unit of
+// cooperative fleet learning, shippable across shards.
+func (m *Monitor) ExportMergeState() ([]byte, error) {
+	if !m.fit {
+		return nil, errors.New("edgedrift: ExportMergeState before Fit")
+	}
+	return m.det.ExportMergeState()
+}
+
+// MergeSeed replaces the monitor's model state with the closed-form
+// combination of the given peer state blobs (from ExportMergeState on
+// merge-compatible monitors). Detector thresholds, centroids and phase
+// are untouched; incompatible state is rejected with an error wrapping
+// oselm.ErrMergeIncompatible and leaves the monitor unchanged.
+func (m *Monitor) MergeSeed(states [][]byte) error {
+	if !m.fit {
+		return errors.New("edgedrift: MergeSeed before Fit")
+	}
+	return m.det.MergeSeed(states)
+}
+
+var _ core.Merger = (*Monitor)(nil)
+
 // Detector exposes the underlying core detector for advanced use
 // (stage-level op accounting, centroid inspection).
 func (m *Monitor) Detector() *core.Detector { return m.det }

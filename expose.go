@@ -37,6 +37,9 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_clamped_total", "Samples repaired by the ingestion guard.", nil, h.Clamped)
 	tw.Counter("edgedrift_model_divergences_total", "Non-finite scores on finite input (model divergence rebuilds).", nil, h.ModelDivergences)
 	tw.Counter("edgedrift_watchdog_resets_total", "RLS watchdog P-matrix re-initialisations.", nil, h.WatchdogResets)
+	tw.Counter("edgedrift_merges_total", "Closed-form state merges applied to member models.", nil, h.Merges)
+	tw.Counter("edgedrift_warm_recoveries_total", "Drift recoveries seeded from cohort peer state.", nil, h.WarmRecoveries)
+	tw.Counter("edgedrift_cold_fallbacks_total", "Drift recoveries that fell back to a cold rebuild (no eligible cohort peer).", nil, h.ColdFallbacks)
 	healthy := 0.0
 	if h.Healthy() {
 		healthy = 1

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"edgedrift/internal/core"
 	"edgedrift/internal/fixed"
 	"edgedrift/internal/fleet"
+	"edgedrift/internal/oselm"
 )
 
 // FleetConfig configures a Fleet: registry shard count, ProcessAll
@@ -66,13 +68,27 @@ func NewFleet(cfg FleetConfig) *Fleet {
 // monitor from here on: drive the stream through ProcessBatch, not
 // through the monitor directly.
 func (f *Fleet) Add(id string, mon *Monitor) error {
+	return f.AddCohort(id, mon, "")
+}
+
+// AddCohort registers a fitted monitor into a cooperation cohort.
+// Members of one cohort exchange merged model state: with
+// FleetConfig.WarmRecovery set, a drifted member's rebuilding model is
+// seeded from the closed-form combination of its non-drifted cohort
+// peers' state, and Fleet.AntiEntropy periodically reconciles the whole
+// group. Cohort peers must be merge-compatible — built from the same
+// Options (shape, precision, RLS constants) and the same Seed, so their
+// random projections are bit-identical; incompatible peers are detected
+// by fingerprint and skipped loudly, never merged. An empty cohort is
+// plain Add.
+func (f *Fleet) AddCohort(id string, mon *Monitor, cohort string) error {
 	if mon == nil {
 		return fmt.Errorf("edgedrift: fleet add %q: nil monitor", id)
 	}
 	if !mon.fit {
 		return fmt.Errorf("edgedrift: fleet add %q: monitor not fitted", id)
 	}
-	return f.f.Add(id, mon)
+	return f.f.AddMember(id, mon, fleet.MemberConfig{Cohort: cohort})
 }
 
 // AddStage registers any streaming stage — e.g. the fixed-point port
@@ -157,6 +173,46 @@ func (f *Fleet) Traces() map[string][]TraceEvent { return f.f.Traces() }
 
 // MemoryBytes audits the whole fleet's retained state.
 func (f *Fleet) MemoryBytes() int { return f.f.MemoryBytes() }
+
+// Cohort returns a member's cooperation cohort ("" when it has none).
+func (f *Fleet) Cohort(id string) (string, error) { return f.f.Cohort(id) }
+
+// CohortMembers returns the live member IDs of a cohort, sorted.
+func (f *Fleet) CohortMembers(cohort string) []string { return f.f.CohortMembers(cohort) }
+
+// ExportMergeState exports one member's mergeable model state and its
+// compatibility fingerprint without deregistering it — the unit a
+// cooperative recovery ships between fleets (or shards). Only a stable
+// member exports: mid-reconstruction state is rejected.
+func (f *Fleet) ExportMergeState(id string) (state []byte, fingerprint uint64, err error) {
+	return f.f.ExportMergeState(id)
+}
+
+// MergeSeedMember replaces one member's model state with the
+// closed-form combination of the given peer states (from
+// ExportMergeState on merge-compatible members). Incompatible state is
+// rejected with an error wrapping ErrMergeIncompatible and leaves the
+// member untouched.
+func (f *Fleet) MergeSeedMember(id string, states [][]byte) error {
+	return f.f.MergeSeedMember(id, states)
+}
+
+// MemberFingerprint returns a member's merge-compatibility fingerprint
+// (0 for members without mergeable state).
+func (f *Fleet) MemberFingerprint(id string) (uint64, error) { return f.f.MemberFingerprint(id) }
+
+// AntiEntropy runs one cooperative merge round over a cohort: every
+// live, stable, mutually compatible member contributes its state
+// and is re-seeded with the combination of all contributions. It
+// returns how many members were seeded.
+func (f *Fleet) AntiEntropy(cohort string) (int, error) { return f.f.AntiEntropy(cohort) }
+
+// StartAntiEntropy launches the periodic anti-entropy policy over every
+// cohort; the returned stop function halts it and waits for an
+// in-flight round.
+func (f *Fleet) StartAntiEntropy(interval time.Duration) (stop func()) {
+	return f.f.StartAntiEntropy(interval)
+}
 
 // asMonitor recovers the Monitor inside a member stage, seeing through
 // the Instrumented wrapper an instrumented fleet adds at registration.
@@ -280,6 +336,7 @@ func LoadFleetFile(path string, cfg FleetConfig) (*Fleet, error) {
 type MemberState struct {
 	ID      string
 	Kind    byte
+	Cohort  string
 	Samples uint64
 	Drifts  uint64
 	Payload []byte
@@ -304,11 +361,11 @@ func (f *Fleet) ExportMember(id string) (*MemberState, error) {
 	}); err != nil {
 		return nil, err
 	}
-	kind, payload, samples, drifts, err := f.f.ExportMember(id, encodeMember(prec))
+	kind, cohort, payload, samples, drifts, err := f.f.ExportMember(id, encodeMember(prec))
 	if err != nil {
 		return nil, err
 	}
-	return &MemberState{ID: id, Kind: kind, Samples: samples, Drifts: drifts, Payload: payload}, nil
+	return &MemberState{ID: id, Kind: kind, Cohort: cohort, Samples: samples, Drifts: drifts, Payload: payload}, nil
 }
 
 // ImportMember registers a member exported from another fleet — the
@@ -319,9 +376,14 @@ func (f *Fleet) ImportMember(st *MemberState) error {
 	if st == nil {
 		return fmt.Errorf("edgedrift: import: nil member state")
 	}
-	err := f.f.ImportMember(st.ID, st.Kind, st.Payload, st.Samples, st.Drifts, decodeMember)
+	err := f.f.ImportMember(st.ID, st.Kind, st.Cohort, st.Payload, st.Samples, st.Drifts, decodeMember)
 	return liftFleetErr(err)
 }
+
+// ErrMergeIncompatible is re-exported so callers can classify merge
+// rejections (see the oselm package): shape/precision/seed-topology
+// mismatches and detect-only members all wrap it.
+var ErrMergeIncompatible = oselm.ErrMergeIncompatible
 
 // liftFleetErr maps the internal container's format error onto the
 // public ErrBadFormat while preserving the cause chain.

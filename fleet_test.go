@@ -215,3 +215,78 @@ func TestFleetSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("fleet steady-state allocates %.1f times per %d-sample batch, want 0", n, len(batch))
 	}
 }
+
+// TestFleetCooperativeWarmRecovery drives the public cooperative
+// surface end to end with real monitors: same-seed members fingerprint
+// identically, peers that adapted to the new concept donate state when
+// the laggard detects its drift, and the health roll-up records the
+// warm path.
+func TestFleetCooperativeWarmRecovery(t *testing.T) {
+	fx := newFleetFixture(t)
+	fleet := edgedrift.NewFleet(edgedrift.FleetConfig{WarmRecovery: true})
+	for _, id := range []string{"t", "p0", "p1"} {
+		if err := fleet.AddCohort(id, fx.monitor(t, 1), "cohort-a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp0, err := fleet.MemberFingerprint("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := fleet.MemberFingerprint("p0")
+	if err != nil || fp0 != fp1 {
+		t.Fatalf("same-seed members fingerprint differently: %x vs %x (%v)", fp0, fp1, err)
+	}
+
+	// Peers see the whole stream (drift at 1000, NRecon 300) and settle
+	// into the new concept; the target lags behind, still pre-drift.
+	for _, id := range []string{"p0", "p1"} {
+		if _, err := fleet.ProcessBatch(id, fx.stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Now the target catches up and hits the drift; WarmRecovery should
+	// seed its rebuild from the adapted peers.
+	rs, err := fleet.ProcessBatch("t", fx.stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := false
+	for _, r := range rs {
+		drifted = drifted || r.DriftDetected
+	}
+	if !drifted {
+		t.Fatal("target never detected the drift")
+	}
+	h := fleet.Health()
+	if h.WarmRecoveries == 0 {
+		t.Fatalf("no warm recovery recorded: %+v", h)
+	}
+	if h.Merges == 0 {
+		t.Fatalf("no merge recorded: %+v", h)
+	}
+	if h.ColdFallbacks != 0 {
+		t.Fatalf("unexpected cold fallback with two adapted peers: %+v", h)
+	}
+
+	// The manual exchange surface round-trips state between members.
+	state, fprint, err := fleet.ExportMergeState("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fprint != fp0 {
+		t.Fatalf("export fingerprint %x != member fingerprint %x", fprint, fp0)
+	}
+	if err := fleet.MergeSeedMember("p1", [][]byte{state}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cohort membership is inspectable.
+	if got, err := fleet.Cohort("t"); err != nil || got != "cohort-a" {
+		t.Fatalf("Cohort(t) = %q, %v", got, err)
+	}
+	if n := len(fleet.CohortMembers("cohort-a")); n != 3 {
+		t.Fatalf("cohort members = %d", n)
+	}
+}

@@ -337,6 +337,9 @@ type Detector struct {
 	// divergences counts monitoring samples whose score came back
 	// non-finite despite finite input (the model state itself diverged).
 	divergences uint64
+	// merges counts cooperative peer-state merges applied to the model
+	// (MergeSeed); surfaced through Health.
+	merges uint64
 
 	ops       *opcount.Counter
 	stageOps  [numStages]opcount.Counter
@@ -846,6 +849,7 @@ func (d *Detector) Health() health.Snapshot {
 		ScoreSamples:     n,
 		ScoreMean:        mean,
 		ScoreStd:         std,
+		Merges:           d.merges,
 		Phase:            d.PhaseNow().String(),
 	}
 	if d.scoreBins != nil {

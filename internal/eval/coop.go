@@ -1,0 +1,293 @@
+package eval
+
+import (
+	"fmt"
+
+	"edgedrift/internal/core"
+	"edgedrift/internal/datasets/coolingfan"
+	"edgedrift/internal/model"
+	"edgedrift/internal/rng"
+)
+
+// Cooperative-recovery experiment (ext-coop): on the Table 3
+// cooling-fan scenarios, compare how fast a just-drifted stream's model
+// becomes competent on the post-drift concept when it recovers alone
+// (the paper's cold reconstruction) versus when it is warm-seeded with
+// the closed-form merge of cohort peers that already adapted — the
+// fleet's drift-triggered warm recovery, measured end to end.
+//
+// The peers are other fans of the same make (same model seed, so the
+// random projections are bit-identical and the merge fingerprints
+// match) whose streams drifted earlier: each peer replays its own copy
+// of the scenario (its own data seed) to completion, adapting its model
+// to the post-drift concept. The target then replays its stream until
+// its own drift detection fires; the warm arm seeds the rebuilding
+// model with the peers' merged state at that instant, the cold arm does
+// nothing — exactly the two paths Fleet.ProcessBatch takes with
+// WarmRecovery on and off.
+//
+// Competence is probed, not inferred from the phase machine: the
+// detector's reconstruction takes a fixed NRecon samples either way, so
+// the honest metric is how many post-detection samples the model needs
+// before its mean anomaly score on a fixed post-drift probe set reaches
+// adapted-peer competence (within 25% of the peers' own probe score —
+// the calibrated pre-drift θ_error is measured on the old concept and
+// can sit below what any model achieves on the new one). A warm-seeded
+// model starts there; a cold one has to re-learn the concept sample by
+// sample.
+
+// CoopScenario is one scenario row of the comparison.
+type CoopScenario struct {
+	// Scenario names the cooling-fan drift type (Table 3 column).
+	Scenario string `json:"scenario"`
+	// Window is the proposed method's check-window size.
+	Window int `json:"window"`
+	// Peers is how many adapted cohort peers donated state.
+	Peers int `json:"peers"`
+	// DetectAt is the sample index where the target detected its drift.
+	DetectAt int `json:"detect_at"`
+	// ColdRecoverySamples is how many post-detection samples the lone
+	// rebuild needed before the probe score recovered (-1: never within
+	// the budget).
+	ColdRecoverySamples int `json:"cold_recovery_samples"`
+	// WarmRecoverySamples is the same for the peer-seeded rebuild.
+	WarmRecoverySamples int `json:"warm_recovery_samples"`
+	// ProbeThreshold is the recovery bar: 1.25 × the adapted peers' own
+	// mean probe score.
+	ProbeThreshold float64 `json:"probe_threshold"`
+}
+
+// CoopComparison is the machine-readable ext-coop result (the BENCH_8
+// artifact).
+type CoopComparison struct {
+	Seed       uint64         `json:"seed"`
+	PeerCount  int            `json:"peer_count"`
+	ProbeLen   int            `json:"probe_len"`
+	CheckEvery int            `json:"check_every"`
+	Budget     int            `json:"budget_samples"`
+	Scenarios  []CoopScenario `json:"scenarios"`
+}
+
+const (
+	coopWindow     = 50  // Table 3 middle window
+	coopPeers      = 3   // donating cohort members
+	coopProbeLen   = 100 // post-drift probe set size
+	coopCheckEvery = 10  // probe cadence in samples
+	coopBudget     = 2500
+	coopTailLen    = 150  // stream tail recycled once the scenario ends
+	coopMargin     = 1.25 // recovery bar relative to peer competence
+)
+
+// coopDetector builds the fan detector and keeps the model handle so
+// the probe can score read-only through it.
+func coopDetector(trainX [][]float64, trainY []int, seed uint64) (*core.Detector, *model.Multi, float64, error) {
+	m, err := model.New(model.Config{
+		Classes:   1,
+		Inputs:    coolingfan.Features,
+		Hidden:    fanHidden,
+		Ridge:     1e-2,
+		Precision: modelPrecision,
+	}, rng.New(seed))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	thetaErr, err := trainPrequential(m, trainX, trainY)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := core.DefaultConfig(coopWindow)
+	cfg.Precision = modelPrecision
+	cfg.NRecon = proposedNReconFan
+	cfg.NUpdate = 50
+	cfg.ErrorThreshold = thetaErr
+	det, err := core.New(m, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := det.Calibrate(trainX, trainY); err != nil {
+		return nil, nil, 0, err
+	}
+	return det, m, thetaErr, nil
+}
+
+// probeMean scores the probe set read-only through the model.
+func probeMean(m *model.Multi, probe [][]float64) float64 {
+	sum := 0.0
+	for _, x := range probe {
+		_, score := m.Predict(x)
+		sum += score
+	}
+	return sum / float64(len(probe))
+}
+
+// coopStream materialises one scenario's stream for a given data seed.
+func coopStream(scenario string, seed uint64) (*coolingfan.Stream, [][]float64, []int) {
+	gen := coolingfan.NewGenerator(fanParams(seed))
+	trainX, trainY := gen.TrainingSet(fanTrainN)
+	var st *coolingfan.Stream
+	switch scenario {
+	case "gradual":
+		st = gen.TestGradual()
+	default:
+		st = gen.TestSudden()
+	}
+	return st, trainX, trainY
+}
+
+// adaptPeer replays a peer's own stream to completion and settles it
+// out of any in-flight reconstruction by recycling the stream tail (the
+// fan stays in its drifted state; the generator merely stops). Returns
+// the peer's exported merge state and its mean score on the target's
+// probe set — the competence bar the recovery arms must reach.
+func adaptPeer(scenario string, dataSeed, modelSeed uint64, probe [][]float64) ([]byte, float64, error) {
+	st, trainX, trainY := coopStream(scenario, dataSeed)
+	det, m, _, err := coopDetector(trainX, trainY, modelSeed)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, x := range st.X {
+		det.Process(x)
+	}
+	tail := st.X[len(st.X)-coopTailLen:]
+	for i := 0; det.PhaseNow() == core.Reconstructing; i++ {
+		if i >= coopBudget {
+			return nil, 0, fmt.Errorf("eval: peer (data seed %d) never settled out of reconstruction", dataSeed)
+		}
+		det.Process(tail[i%len(tail)])
+	}
+	state, err := det.ExportMergeState()
+	if err != nil {
+		return nil, 0, err
+	}
+	return state, probeMean(m, probe), nil
+}
+
+// coopRecovery drives one arm: replay the target until its drift
+// detection, optionally seed the rebuilding model with the peers'
+// states, then count post-detection samples until the probe mean drops
+// under the recovery threshold.
+func coopRecovery(scenario string, seed uint64, peerStates [][]byte, thresh float64) (detectAt, recovery int, err error) {
+	st, trainX, trainY := coopStream(scenario, seed)
+	det, m, _, err := coopDetector(trainX, trainY, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	detectAt = -1
+	for i, x := range st.X {
+		if det.Process(x).DriftDetected {
+			detectAt = i
+			break
+		}
+	}
+	if detectAt < 0 {
+		return 0, 0, fmt.Errorf("eval: target never detected the %s drift", scenario)
+	}
+	if len(peerStates) > 0 {
+		if err := det.MergeSeed(peerStates); err != nil {
+			return 0, 0, fmt.Errorf("eval: warm seed: %w", err)
+		}
+	}
+	probe := st.X[len(st.X)-coopProbeLen:]
+	tail := st.X[len(st.X)-coopTailLen:]
+	rest := st.X[detectAt+1:]
+	feed := func(i int) []float64 {
+		if i < len(rest) {
+			return rest[i]
+		}
+		return tail[(i-len(rest))%len(tail)]
+	}
+	recovery = -1
+	for i := 0; i < coopBudget; i++ {
+		if i%coopCheckEvery == 0 && probeMean(m, probe) <= thresh {
+			recovery = i
+			break
+		}
+		det.Process(feed(i))
+	}
+	return detectAt, recovery, nil
+}
+
+// RunCoop runs the full per-stream vs cooperative recovery comparison.
+// The reoccurring scenario is deliberately absent: its drifted concept
+// lasts 50 samples and then the old concept returns, so there is no
+// sustained post-drift competence to recover — cooperation targets
+// drifts that stay.
+func RunCoop(seed uint64) (*CoopComparison, error) {
+	out := &CoopComparison{
+		Seed:       seed,
+		PeerCount:  coopPeers,
+		ProbeLen:   coopProbeLen,
+		CheckEvery: coopCheckEvery,
+		Budget:     coopBudget,
+	}
+	for _, scenario := range []string{"sudden", "gradual"} {
+		st, _, _ := coopStream(scenario, seed)
+		probe := st.X[len(st.X)-coopProbeLen:]
+		var states [][]byte
+		peerLevel := 0.0
+		for p := 0; p < coopPeers; p++ {
+			state, level, err := adaptPeer(scenario, seed+1+uint64(p), seed, probe)
+			if err != nil {
+				return nil, err
+			}
+			states = append(states, state)
+			peerLevel += level
+		}
+		thresh := coopMargin * peerLevel / float64(coopPeers)
+		coldAt, cold, err := coopRecovery(scenario, seed, nil, thresh)
+		if err != nil {
+			return nil, err
+		}
+		warmAt, warm, err := coopRecovery(scenario, seed, states, thresh)
+		if err != nil {
+			return nil, err
+		}
+		if warmAt != coldAt {
+			return nil, fmt.Errorf("eval: %s: arms diverged before the seed (detect at %d vs %d)", scenario, coldAt, warmAt)
+		}
+		out.Scenarios = append(out.Scenarios, CoopScenario{
+			Scenario:            scenario,
+			Window:              coopWindow,
+			Peers:               coopPeers,
+			DetectAt:            coldAt,
+			ColdRecoverySamples: cold,
+			WarmRecoverySamples: warm,
+			ProbeThreshold:      thresh,
+		})
+	}
+	return out, nil
+}
+
+// ExtensionCoop is the registry wrapper: the same comparison rendered
+// as a table.
+func ExtensionCoop(seed uint64) *Outcome {
+	cmp, err := RunCoop(seed)
+	if err != nil {
+		panic(err)
+	}
+	return CoopOutcome(cmp)
+}
+
+// CoopOutcome renders an already-computed comparison, so the benchmark
+// command does not run the streams twice.
+func CoopOutcome(cmp *CoopComparison) *Outcome {
+	t := &Table{
+		Title:   "Extension: cooperative warm recovery vs per-stream cold rebuild (cooling fan)",
+		Columns: []string{"scenario", "detected at", "cold recovery (samples)", "warm recovery (samples)"},
+		Notes: []string{
+			fmt.Sprintf("recovery = post-detection samples until the mean anomaly score of a %d-sample post-drift probe reaches adapted-peer competence (within %d%%)", coopProbeLen, int(coopMargin*100)-100),
+			fmt.Sprintf("warm arm seeds the rebuilding model with the closed-form merge of %d already-adapted cohort peers at the detection instant", coopPeers),
+		},
+	}
+	for _, s := range cmp.Scenarios {
+		t.AddRow(s.Scenario, s.DetectAt, recoveryCell(s.ColdRecoverySamples), recoveryCell(s.WarmRecoverySamples))
+	}
+	return &Outcome{Tables: []*Table{t}}
+}
+
+func recoveryCell(n int) string {
+	if n < 0 {
+		return fmt.Sprintf("> %d", coopBudget)
+	}
+	return fmt.Sprintf("%d", n)
+}

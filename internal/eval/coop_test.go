@@ -1,0 +1,52 @@
+package eval
+
+import "testing"
+
+// TestCoopWarmBeatsCold is the headline claim of the cooperative
+// extension: seeding a drifted stream's rebuild with the merged state of
+// already-adapted cohort peers strictly reduces the post-drift recovery
+// delay versus rebuilding alone, on every sustained-drift scenario.
+func TestCoopWarmBeatsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cooperative comparison replays full fan streams")
+	}
+	cmp, err := RunCoop(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want sudden + gradual", len(cmp.Scenarios))
+	}
+	for _, s := range cmp.Scenarios {
+		if s.DetectAt < 0 {
+			t.Fatalf("%s: drift never detected", s.Scenario)
+		}
+		if s.WarmRecoverySamples < 0 {
+			t.Fatalf("%s: warm recovery never converged within %d samples", s.Scenario, cmp.Budget)
+		}
+		// Cold recovery that never converges (-1) still loses to any
+		// finite warm recovery.
+		if s.ColdRecoverySamples >= 0 && s.WarmRecoverySamples >= s.ColdRecoverySamples {
+			t.Fatalf("%s: warm recovery (%d samples) not strictly faster than cold (%d)",
+				s.Scenario, s.WarmRecoverySamples, s.ColdRecoverySamples)
+		}
+	}
+}
+
+// TestExtensionCoopShape checks the registry-facing rendering.
+func TestExtensionCoopShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cooperative comparison replays full fan streams")
+	}
+	out := ExtensionCoop(1)
+	if len(out.Tables) != 1 {
+		t.Fatalf("tables = %d", len(out.Tables))
+	}
+	tb := out.Tables[0]
+	if len(tb.Rows) != 2 || len(tb.Columns) != 4 {
+		t.Fatalf("table shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	if tb.String() == "" {
+		t.Fatal("empty render")
+	}
+}

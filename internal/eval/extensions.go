@@ -29,6 +29,7 @@ func RegistryExtensions() []Experiment {
 		{ID: "ext-incremental", Title: "Extension: incremental drift (the Figure 1 type the paper does not evaluate)", Run: ExtensionIncremental},
 		{ID: "ext-realdrift", Title: "Extension: real drift without virtual drift (SEA) — the distribution detectors' blind spot", Run: ExtensionRealDrift},
 		{ID: "ext-health", Title: "Extension: non-finite input robustness — guard policies on a poisoned stream", Run: ExtensionHealth},
+		{ID: "ext-coop", Title: "Extension: cooperative warm recovery vs per-stream cold rebuild after drift", Run: ExtensionCoop},
 	}
 }
 

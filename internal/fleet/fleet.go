@@ -20,10 +20,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"edgedrift/internal/core"
 	"edgedrift/internal/eval"
 	"edgedrift/internal/health"
+	"edgedrift/internal/oselm"
 )
 
 // Event is one drift detection, fanned in from every member onto the
@@ -60,6 +62,14 @@ type Config struct {
 	SampleEvery int
 	// TraceDepth bounds each member's drift-trace ring; 0 means 64.
 	TraceDepth int
+	// WarmRecovery enables drift-triggered cooperative recovery: when a
+	// member with a cohort detects drift, the fleet seeds its rebuilding
+	// model from the merged state of the cohort's non-drifted,
+	// merge-compatible peers (closed-form OS-ELM merge, see oselm.Merge),
+	// falling back to the paper's cold reconstruction when no eligible
+	// peer exists. Off by default: with it off the fleet is bit-identical
+	// to the pre-cooperation behaviour.
+	WarmRecovery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,7 +102,19 @@ type member struct {
 	// Add time (nil when the stage is per-sample only). When set, whole
 	// ProcessBatch calls go through one virtual dispatch instead of one
 	// per sample, and the stage gets contiguous chunks to run as GEMMs.
-	batch   core.BatchStreaming
+	batch core.BatchStreaming
+	// merger is the stage's mergeable-state capability, discovered once
+	// at Add time through the Guard/Instrumented seams (nil for stages
+	// that cannot merge, e.g. Q16.16 detect-only members).
+	merger core.Merger
+	// phase reports the stage's detector phase, when it exposes one; the
+	// cooperative policies use it to skip mid-reconstruction peers.
+	phase func() core.Phase
+	// cohort names the member's cooperation group ("" = none) and fprint
+	// caches its merge fingerprint, so peer eligibility is an integer
+	// compare, not a state export.
+	cohort  string
+	fprint  uint64
 	samples uint64
 	drifts  uint64
 	removed bool
@@ -115,15 +137,26 @@ type Fleet struct {
 	events     chan Event
 	subscribed atomic.Bool
 	dropped    atomic.Uint64
+
+	// cohorts indexes live member IDs by cohort name, under its own
+	// mutex (never held together with a member lock).
+	cohortMu sync.Mutex
+	cohorts  map[string]map[string]struct{}
+
+	// Cooperation counters (see Metrics / Health).
+	warmRecoveries atomic.Uint64
+	coldFallbacks  atomic.Uint64
+	peersSkipped   atomic.Uint64
 }
 
 // New builds an empty fleet.
 func New(cfg Config) *Fleet {
 	c := cfg.withDefaults()
 	f := &Fleet{
-		cfg:    c,
-		shards: make([]shard, c.Shards),
-		events: make(chan Event, c.EventBuffer),
+		cfg:     c,
+		shards:  make([]shard, c.Shards),
+		events:  make(chan Event, c.EventBuffer),
+		cohorts: map[string]map[string]struct{}{},
 	}
 	for i := range f.shards {
 		f.shards[i].members = map[string]*member{}
@@ -145,21 +178,36 @@ func (f *Fleet) shardOf(id string) *shard {
 // Add registers a stream. The stage must not be shared with another
 // member or used directly afterwards — the fleet owns its schedule.
 func (f *Fleet) Add(id string, s core.Streaming) error {
-	return f.addMember(id, s, 0, 0)
+	return f.addMember(id, s, MemberConfig{}, 0, 0)
 }
 
-// addMember is Add with explicit starting lifetime counters — the shared
-// registration path of Add (zero counters) and ImportMember (counters
-// carried over from the exporting fleet so a migrated stream's roll-up
-// neither loses nor double-counts samples).
-func (f *Fleet) addMember(id string, s core.Streaming, samples, drifts uint64) error {
+// MemberConfig carries per-member registration options.
+type MemberConfig struct {
+	// Cohort names the member's cooperation group. Members of one cohort
+	// exchange merged model state during warm recovery and anti-entropy;
+	// "" (the default) opts the member out of all cooperation. A cohort
+	// requires a mergeable stage: registering a detect-only member (the
+	// Q16.16 port) into a cohort is rejected loudly, never downgraded.
+	Cohort string
+}
+
+// AddMember registers a stream with explicit member options.
+func (f *Fleet) AddMember(id string, s core.Streaming, mc MemberConfig) error {
+	return f.addMember(id, s, mc, 0, 0)
+}
+
+// addMember is AddMember with explicit starting lifetime counters — the
+// shared registration path of Add (zero counters) and ImportMember
+// (counters carried over from the exporting fleet so a migrated
+// stream's roll-up neither loses nor double-counts samples).
+func (f *Fleet) addMember(id string, s core.Streaming, mc MemberConfig, samples, drifts uint64) error {
 	if id == "" {
 		return fmt.Errorf("fleet: empty stream ID")
 	}
 	if s == nil {
 		return fmt.Errorf("fleet: stream %q: nil stage", id)
 	}
-	mb := &member{stage: s, samples: samples, drifts: drifts}
+	mb := &member{stage: s, cohort: mc.Cohort, samples: samples, drifts: drifts}
 	if f.cfg.Instrument {
 		mb.instr = core.NewInstrumented(s, core.InstrumentConfig{
 			StreamID:    id,
@@ -171,14 +219,83 @@ func (f *Fleet) addMember(id string, s core.Streaming, samples, drifts uint64) e
 	if bs, ok := mb.stage.(core.BatchStreaming); ok {
 		mb.batch = bs
 	}
+	if mg, ok := core.AsMerger(mb.stage); ok {
+		mb.merger = mg
+		mb.fprint = mg.MergeFingerprint()
+	}
+	if p, ok := mb.stage.(interface{ PhaseNow() core.Phase }); ok {
+		mb.phase = p.PhaseNow
+	}
+	if mc.Cohort != "" && mb.merger == nil {
+		return fmt.Errorf("fleet: stream %q: cohort %q requires a mergeable stage (detect-only members cannot cooperate): %w",
+			id, mc.Cohort, oselm.ErrMergeIncompatible)
+	}
 	sh := f.shardOf(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.members[id]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("fleet: stream %q already registered", id)
 	}
 	sh.members[id] = mb
+	sh.mu.Unlock()
+	f.cohortAdd(mc.Cohort, id)
 	return nil
+}
+
+// cohortAdd indexes id under its cohort (no-op for the empty cohort).
+func (f *Fleet) cohortAdd(cohort, id string) {
+	if cohort == "" {
+		return
+	}
+	f.cohortMu.Lock()
+	set := f.cohorts[cohort]
+	if set == nil {
+		set = map[string]struct{}{}
+		f.cohorts[cohort] = set
+	}
+	set[id] = struct{}{}
+	f.cohortMu.Unlock()
+}
+
+// cohortRemove drops id from its cohort's index.
+func (f *Fleet) cohortRemove(cohort, id string) {
+	if cohort == "" {
+		return
+	}
+	f.cohortMu.Lock()
+	if set := f.cohorts[cohort]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(f.cohorts, cohort)
+		}
+	}
+	f.cohortMu.Unlock()
+}
+
+// Cohort returns the member's cohort name ("" for none).
+func (f *Fleet) Cohort(id string) (string, error) {
+	m, err := f.member(id)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		return "", fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	return m.cohort, nil
+}
+
+// CohortMembers returns the live member IDs of a cohort, sorted.
+func (f *Fleet) CohortMembers(cohort string) []string {
+	f.cohortMu.Lock()
+	ids := make([]string, 0, len(f.cohorts[cohort]))
+	for id := range f.cohorts[cohort] {
+		ids = append(ids, id)
+	}
+	f.cohortMu.Unlock()
+	sort.Strings(ids)
+	return ids
 }
 
 // Remove deregisters a stream, reporting whether it existed and, when
@@ -204,9 +321,12 @@ func (f *Fleet) Remove(id string) (samples, drifts uint64, ok bool) {
 	// is already released: a long batch must not block Add/Remove of the
 	// shard's other streams.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.removed = true
-	return m.samples, m.drifts, true
+	samples, drifts = m.samples, m.drifts
+	cohort := m.cohort
+	m.mu.Unlock()
+	f.cohortRemove(cohort, id)
+	return samples, drifts, true
 }
 
 // Len returns the registered stream count.
@@ -257,15 +377,31 @@ func (f *Fleet) ProcessBatch(id string, xs [][]float64) ([]core.Result, error) {
 // ProcessBatchInto is ProcessBatch appending into dst — the
 // allocation-free form for callers that reuse a result buffer across
 // batches.
+//
+// With Config.WarmRecovery set, a batch that detected drift on a
+// cohort member triggers the cooperative seed after the batch's results
+// are settled and the member lock released (see warmRecover); the
+// drift-free path is untouched.
 func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) ([]core.Result, error) {
+	dst, drifted, err := f.processMember(dst, id, xs)
+	if err == nil && drifted && f.cfg.WarmRecovery {
+		f.warmRecover(id)
+	}
+	return dst, err
+}
+
+// processMember is the locked body of ProcessBatchInto, reporting
+// whether any sample in the batch detected drift.
+func (f *Fleet) processMember(dst []core.Result, id string, xs [][]float64) ([]core.Result, bool, error) {
 	m, err := f.member(id)
 	if err != nil {
-		return dst, err
+		return dst, false, err
 	}
+	drifted := false
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.removed {
-		return dst, fmt.Errorf("fleet: unknown stream %q", id)
+		return dst, false, fmt.Errorf("fleet: unknown stream %q", id)
 	}
 	if m.batch != nil {
 		// Batched path: the stage consumes the whole slice in one call
@@ -279,10 +415,11 @@ func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) (
 			m.samples++
 			if r.DriftDetected {
 				m.drifts++
+				drifted = true
 				f.emit(Event{StreamID: id, Index: int(idx), Result: r})
 			}
 		}
-		return dst, nil
+		return dst, drifted, nil
 	}
 	for _, x := range xs {
 		var r core.Result
@@ -295,11 +432,207 @@ func (f *Fleet) ProcessBatchInto(dst []core.Result, id string, xs [][]float64) (
 		m.samples++
 		if r.DriftDetected {
 			m.drifts++
+			drifted = true
 			f.emit(Event{StreamID: id, Index: int(idx), Result: r})
 		}
 		dst = append(dst, r)
 	}
-	return dst, nil
+	return dst, drifted, nil
+}
+
+// warmRecover implements drift-triggered cooperative recovery for one
+// just-drifted member: gather merge state from the cohort's eligible
+// peers — live, merge-compatible (fingerprint match), and not mid-
+// reconstruction (monitoring and checking models are static between
+// samples; a rebuilding one is not), so a seed can never observe a
+// half-trained peer —
+// and seed the drifted member's rebuilding model with their closed-form
+// combination. With no eligible peer the member falls back to the
+// paper's cold reconstruction, and the fallback is counted, never
+// silent. Peer locks are taken one at a time and never nested with the
+// target's, so recovery cannot deadlock against concurrent batches,
+// Remove, or another member's recovery.
+func (f *Fleet) warmRecover(id string) {
+	m, err := f.member(id)
+	if err != nil {
+		return // removed since the batch; nothing to recover
+	}
+	m.mu.Lock()
+	cohort, fprint, merger := m.cohort, m.fprint, m.merger
+	removed := m.removed
+	m.mu.Unlock()
+	if removed || cohort == "" || merger == nil {
+		return
+	}
+
+	var states [][]byte
+	for _, peerID := range f.CohortMembers(cohort) {
+		if peerID == id {
+			continue
+		}
+		p, err := f.member(peerID)
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		eligible := !p.removed && p.merger != nil && p.fprint == fprint &&
+			p.phase != nil && p.phase() != core.Reconstructing
+		var st []byte
+		if eligible {
+			st, err = p.merger.ExportMergeState()
+		}
+		p.mu.Unlock()
+		if !eligible || err != nil {
+			f.peersSkipped.Add(1)
+			continue
+		}
+		states = append(states, st)
+	}
+	if len(states) == 0 {
+		f.coldFallbacks.Add(1)
+		return
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		f.coldFallbacks.Add(1)
+		return
+	}
+	if err := m.merger.MergeSeed(states); err != nil {
+		// Peer state that decoded but failed final validation: count the
+		// cold fallback; the member continues its normal reconstruction.
+		f.peersSkipped.Add(uint64(len(states)))
+		f.coldFallbacks.Add(1)
+		return
+	}
+	f.warmRecoveries.Add(1)
+}
+
+// ExportMergeState exports one member's mergeable model state and its
+// fingerprint — the cross-shard half of cooperative recovery. The state
+// is exported under the member lock (a sample-boundary snapshot) and
+// never from a reconstructing member: half-trained state is rejected
+// at this mechanism level so no policy above can ship it.
+func (f *Fleet) ExportMergeState(id string) ([]byte, uint64, error) {
+	m, err := f.member(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		return nil, 0, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.merger == nil {
+		return nil, 0, fmt.Errorf("fleet: stream %q: %w", id,
+			&oselm.MergeError{Reason: "member has no mergeable state (detect-only stage)"})
+	}
+	if m.phase != nil && m.phase() == core.Reconstructing {
+		return nil, 0, fmt.Errorf("fleet: stream %q is mid-reconstruction; merge state is only exported from a stable model", id)
+	}
+	st, err := m.merger.ExportMergeState()
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: export merge state %q: %w", id, err)
+	}
+	return st, m.fprint, nil
+}
+
+// MergeSeedMember seeds one member's model with the closed-form
+// combination of the given peer states (from ExportMergeState, locally
+// or across shards). Incompatible state is rejected loudly and leaves
+// the member untouched.
+func (f *Fleet) MergeSeedMember(id string, states [][]byte) error {
+	m, err := f.member(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		return fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.merger == nil {
+		return fmt.Errorf("fleet: stream %q: %w", id,
+			&oselm.MergeError{Reason: "member has no mergeable state (detect-only stage)"})
+	}
+	if err := m.merger.MergeSeed(states); err != nil {
+		return fmt.Errorf("fleet: merge seed %q: %w", id, err)
+	}
+	return nil
+}
+
+// MemberFingerprint returns a member's merge fingerprint (0 when the
+// member has no mergeable state).
+func (f *Fleet) MemberFingerprint(id string) (uint64, error) {
+	m, err := f.member(id)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		return 0, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	return m.fprint, nil
+}
+
+// AntiEntropy runs one periodic cooperative merge round over a cohort:
+// every live, stable (not reconstructing), mutually compatible member contributes its
+// state, and each such member is re-seeded with the closed-form
+// combination of all contributions (its own included, so its evidence
+// is kept). Members mid-reconstruction or fingerprint-mismatched are
+// skipped and counted. It returns how many members were seeded.
+func (f *Fleet) AntiEntropy(cohort string) (int, error) {
+	ids := f.CohortMembers(cohort)
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("fleet: unknown or empty cohort %q", cohort)
+	}
+	var (
+		states  [][]byte
+		donors  []string
+		fprint  uint64
+		haveRef bool
+	)
+	for _, id := range ids {
+		m, err := f.member(id)
+		if err != nil {
+			continue
+		}
+		m.mu.Lock()
+		ok := !m.removed && m.merger != nil &&
+			(m.phase == nil || m.phase() != core.Reconstructing)
+		if ok && haveRef && m.fprint != fprint {
+			ok = false
+		}
+		var st []byte
+		if ok {
+			st, err = m.merger.ExportMergeState()
+			ok = err == nil
+		}
+		if ok && !haveRef {
+			fprint, haveRef = m.fprint, true
+		}
+		m.mu.Unlock()
+		if !ok {
+			f.peersSkipped.Add(1)
+			continue
+		}
+		states = append(states, st)
+		donors = append(donors, id)
+	}
+	if len(states) < 2 {
+		return 0, fmt.Errorf("fleet: cohort %q has %d mergeable member(s); anti-entropy needs 2", cohort, len(states))
+	}
+	seeded := 0
+	for _, id := range donors {
+		if err := f.MergeSeedMember(id, states); err != nil {
+			f.peersSkipped.Add(1)
+			continue
+		}
+		seeded++
+	}
+	return seeded, nil
 }
 
 // ProcessAll fans a set of per-stream batches out over a bounded worker
@@ -393,13 +726,60 @@ func (f *Fleet) MemberStats(id string) (samples, drifts uint64, err error) {
 
 // Health rolls every member's snapshot up into one fleet-level snapshot
 // (see health.Aggregate for the semantics: counters sum, PFinite ANDs,
-// score summaries pool).
+// score summaries pool). The fleet's own cooperation counters — warm
+// recoveries and cold fallbacks are a fleet policy, invisible to any
+// single member — are added onto the aggregate.
 func (f *Fleet) Health() health.Snapshot {
 	var snaps []health.Snapshot
 	f.eachMember(func(id string, m *member) {
 		snaps = append(snaps, m.stage.Health())
 	})
-	return health.Aggregate(snaps)
+	agg := health.Aggregate(snaps)
+	agg.WarmRecoveries += f.warmRecoveries.Load()
+	agg.ColdFallbacks += f.coldFallbacks.Load()
+	return agg
+}
+
+// StartAntiEntropy launches the optional periodic anti-entropy policy:
+// every interval, each cohort with ≥ 2 mergeable members is merged (see
+// AntiEntropy). It returns a stop function; stopping waits for an
+// in-flight round to finish. Round errors (e.g. a cohort momentarily
+// mid-reconstruction everywhere) are expected and skipped — the next
+// tick retries.
+func (f *Fleet) StartAntiEntropy(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var once sync.Once
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				f.cohortMu.Lock()
+				cohorts := make([]string, 0, len(f.cohorts))
+				for c := range f.cohorts {
+					cohorts = append(cohorts, c)
+				}
+				f.cohortMu.Unlock()
+				sort.Strings(cohorts)
+				for _, c := range cohorts {
+					_, _ = f.AntiEntropy(c)
+				}
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
 }
 
 // StreamMetrics is one member's contribution to the fleet roll-up.
@@ -424,6 +804,14 @@ type Metrics struct {
 	// EventsDropped counts drift events discarded on a full subscriber
 	// buffer.
 	EventsDropped uint64
+	// WarmRecoveries and ColdFallbacks count drift responses under the
+	// cooperative policy: seeds applied from cohort peers vs. falls back
+	// to cold reconstruction for want of an eligible peer. PeersSkipped
+	// counts cohort peers passed over during recovery or anti-entropy
+	// (mid-reconstruction, fingerprint mismatch, or export failure).
+	WarmRecoveries uint64
+	ColdFallbacks  uint64
+	PeersSkipped   uint64
 	// MemoryBytes is the whole-fleet retained-state audit.
 	MemoryBytes int
 	// PerStream holds each member's counters keyed by stream ID.
@@ -442,13 +830,16 @@ func (f *Fleet) Metrics() Metrics {
 			stage := mb.instr.Metrics()
 			sm.Stage = &stage
 		}
-		m.MemoryBytes += mb.stage.MemoryBytes() + len(id) + memberOverheadBytes
+		m.MemoryBytes += mb.stage.MemoryBytes() + len(id) + len(mb.cohort) + memberOverheadBytes
 		m.Streams++
 		m.Samples += sm.Samples
 		m.Drifts += sm.Drifts
 		m.PerStream[id] = sm
 	})
 	m.EventsDropped = f.dropped.Load()
+	m.WarmRecoveries = f.warmRecoveries.Load()
+	m.ColdFallbacks = f.coldFallbacks.Load()
+	m.PeersSkipped = f.peersSkipped.Load()
 	return m
 }
 
@@ -475,20 +866,22 @@ func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 }
 
 // memberOverheadBytes is the registry's own cost per member beyond the
-// stage's audit and the ID bytes (charged as len(id)): the member
-// struct (mutex, 16-byte stage interface header, the concrete instr
-// pointer, the 16-byte batch capability header, two uint64 counters,
-// removed mark + padding = 72), the map's *member value (8), and the
-// string header of the map key (16). Pinned to the real layout by an
-// unsafe.Sizeof test so it cannot rot when the struct changes.
-const memberOverheadBytes = 72 + 8 + 16
+// stage's audit and the ID/cohort bytes (charged as len(id) +
+// len(cohort)): the member struct (mutex, 16-byte stage interface
+// header, the concrete instr pointer, the 16-byte batch and merger
+// capability headers, the phase func value, the cohort string header,
+// the fingerprint, two uint64 counters, removed mark + padding = 120),
+// the map's *member value (8), and the string header of the map key
+// (16). Pinned to the real layout by an unsafe.Sizeof test so it cannot
+// rot when the struct changes.
+const memberOverheadBytes = 120 + 8 + 16
 
 // MemoryBytes audits the whole fleet's retained state: the sum of every
 // member's audit plus the registry's own per-member overhead.
 func (f *Fleet) MemoryBytes() int {
 	total := 0
 	f.eachMember(func(id string, m *member) {
-		total += m.stage.MemoryBytes() + len(id) + memberOverheadBytes
+		total += m.stage.MemoryBytes() + len(id) + len(m.cohort) + memberOverheadBytes
 	})
 	return total
 }

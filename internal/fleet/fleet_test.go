@@ -434,7 +434,8 @@ func TestExportImportMember(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	kind, payload, smp, dr, err := f.ExportMember("s", encCount)
+	kind, cohort, payload, smp, dr, err := f.ExportMember("s", encCount)
+	_ = cohort
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +450,7 @@ func TestExportImportMember(t *testing.T) {
 	}
 
 	g := New(Config{})
-	if err := g.ImportMember("s", kind, payload, smp, dr, decCount); err != nil {
+	if err := g.ImportMember("s", kind, "", payload, smp, dr, decCount); err != nil {
 		t.Fatal(err)
 	}
 	got, err := g.ProcessBatch("s", samples(5, 0))
@@ -491,7 +492,7 @@ func TestExportMemberFailureRollsBack(t *testing.T) {
 	}
 	boom := errors.New("encode failed")
 	encFail := func(id string, s core.Streaming, w io.Writer) (byte, error) { return 0, boom }
-	if _, _, _, _, err := f.ExportMember("s", encFail); !errors.Is(err, boom) {
+	if _, _, _, _, _, err := f.ExportMember("s", encFail); !errors.Is(err, boom) {
 		t.Fatalf("export err = %v, want the encoder's error", err)
 	}
 	if _, err := f.ProcessBatch("s", samples(3, 0)); err != nil {
@@ -509,7 +510,8 @@ func TestImportMemberCorruption(t *testing.T) {
 	if err := f.Add("s", &countStage{driftEvery: 2}); err != nil {
 		t.Fatal(err)
 	}
-	kind, payload, smp, dr, err := f.ExportMember("s", encCount)
+	kind, cohort, payload, smp, dr, err := f.ExportMember("s", encCount)
+	_ = cohort
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +519,7 @@ func TestImportMemberCorruption(t *testing.T) {
 		bad := append([]byte(nil), payload...)
 		bad[pos] ^= 0x40
 		g := New(Config{})
-		if err := g.ImportMember("s", kind, bad, smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
+		if err := g.ImportMember("s", kind, "", bad, smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
 			t.Fatalf("flip at byte %d: err = %v, want ErrBadFormat", pos, err)
 		}
 		if g.Len() != 0 {
@@ -526,7 +528,7 @@ func TestImportMemberCorruption(t *testing.T) {
 	}
 	// Trailing garbage after the footer must also fail.
 	g := New(Config{})
-	if err := g.ImportMember("s", kind, append(payload, 0), smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
+	if err := g.ImportMember("s", kind, "", append(payload, 0), smp, dr, decCount); !errors.Is(err, ErrBadFormat) {
 		t.Fatalf("trailing byte: err = %v, want ErrBadFormat", err)
 	}
 }

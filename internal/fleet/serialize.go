@@ -27,8 +27,18 @@ var fleetMagicV1 = [6]byte{'F', 'L', 'E', 'E', 'T', '1'}
 // fleetMagicV2 is FLEET1 plus a one-byte member kind between each ID
 // and its payload length, discriminating member encodings (a float
 // Monitor artifact vs. a Q16.16 stage artifact) so mixed-precision
-// fleets round-trip. Save always writes FLEET2; Load accepts both.
+// fleets round-trip.
 var fleetMagicV2 = [6]byte{'F', 'L', 'E', 'E', 'T', '2'}
+
+// fleetMagicV3 is FLEET2 plus the cooperative-learning fields between
+// each member's kind byte and its payload length: a length-prefixed
+// cohort name and the member's u64 merge fingerprint at save time. The
+// fingerprint is informational — a loader re-derives the live value
+// from the decoded stage, which is what the cohort index uses — but it
+// lets offline tooling group compatible members without decoding
+// payloads. Save always writes FLEET3; Load accepts all three versions
+// (FLEET1/2 members decode with the empty cohort).
+var fleetMagicV3 = [6]byte{'F', 'L', 'E', 'E', 'T', '3'}
 
 // ErrBadFormat reports a stream that is not a serialised fleet of a
 // known version, or one that is truncated or corrupt.
@@ -61,7 +71,7 @@ type DecodeFunc func(id string, kind byte, r io.Reader) (core.Streaming, error)
 func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 	ids := f.IDs()
 	cw := ckpt.NewWriter(w)
-	if _, err := cw.Write(fleetMagicV2[:]); err != nil {
+	if _, err := cw.Write(fleetMagicV3[:]); err != nil {
 		return err
 	}
 	if err := putU32(cw, uint32(len(ids))); err != nil {
@@ -71,6 +81,8 @@ func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 	for _, id := range ids {
 		buf.Reset()
 		var kind byte
+		var cohort string
+		var fprint uint64
 		inner := ckpt.NewWriter(&buf)
 		err := f.Do(id, func(s core.Streaming) error {
 			var encErr error
@@ -79,6 +91,11 @@ func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 		})
 		if err != nil {
 			return fmt.Errorf("fleet: save %q: %w", id, err)
+		}
+		if m, merr := f.member(id); merr == nil {
+			m.mu.Lock()
+			cohort, fprint = m.cohort, m.fprint
+			m.mu.Unlock()
 		}
 		if err := inner.WriteFooter(); err != nil {
 			return fmt.Errorf("fleet: save %q: %w", id, err)
@@ -90,6 +107,15 @@ func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 			return err
 		}
 		if _, err := cw.Write([]byte{kind}); err != nil {
+			return err
+		}
+		if err := putU32(cw, uint32(len(cohort))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(cw, cohort); err != nil {
+			return err
+		}
+		if err := putU64(cw, fprint); err != nil {
 			return err
 		}
 		if err := putU64(cw, uint64(buf.Len())); err != nil {
@@ -112,7 +138,8 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 	if _, err := io.ReadFull(r, got[:]); err != nil {
 		return badFormat(fmt.Errorf("load header: %w", err))
 	}
-	hasKind := got == fleetMagicV2
+	hasCohort := got == fleetMagicV3
+	hasKind := got == fleetMagicV2 || hasCohort
 	if got != fleetMagicV1 && !hasKind {
 		return ErrBadFormat
 	}
@@ -146,6 +173,29 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 			}
 			kind = kb[0]
 		}
+		var cohort string
+		if hasCohort {
+			clen, err := getU32(cr)
+			if err != nil {
+				return badFormat(fmt.Errorf("member %q: %w", id, err))
+			}
+			if clen > maxLoadIDLen {
+				return badFormat(fmt.Errorf("member %q: implausible cohort length %d", id, clen))
+			}
+			if clen > 0 {
+				cb := make([]byte, clen)
+				if _, err := io.ReadFull(cr, cb); err != nil {
+					return badFormat(fmt.Errorf("member %q: %w", id, err))
+				}
+				cohort = string(cb)
+			}
+			// The saved fingerprint is folded into the checksum but the
+			// live value is re-derived from the decoded stage: the stage's
+			// own bits are authoritative, not a label alongside them.
+			if _, err := getU64(cr); err != nil {
+				return badFormat(fmt.Errorf("member %q: %w", id, err))
+			}
+		}
 		plen, err := getU64(cr)
 		if err != nil {
 			return badFormat(fmt.Errorf("member %q: %w", id, err))
@@ -162,7 +212,7 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 		if lim.N != 0 {
 			return badFormat(fmt.Errorf("member %q: %d payload bytes left unconsumed", id, lim.N))
 		}
-		if err := f.Add(id, s); err != nil {
+		if err := f.AddMember(id, s, MemberConfig{Cohort: cohort}); err != nil {
 			return err
 		}
 	}
@@ -218,15 +268,16 @@ func (f *Fleet) LoadFile(path string, dec DecodeFunc) error {
 // in-flight batch completes, so the payload is a sample-boundary
 // snapshot and no sample can land on the member after its export. The
 // payload carries its own ckpt CRC32 footer; samples/drifts are the
-// lifetime counters the importing fleet must carry over. If encoding
-// fails, the member is re-registered and the fleet is unchanged.
-func (f *Fleet) ExportMember(id string, enc EncodeFunc) (kind byte, payload []byte, samples, drifts uint64, err error) {
+// lifetime counters and cohort is the cooperation group the importing
+// fleet must carry over. If encoding fails, the member is re-registered
+// and the fleet is unchanged.
+func (f *Fleet) ExportMember(id string, enc EncodeFunc) (kind byte, cohort string, payload []byte, samples, drifts uint64, err error) {
 	sh := f.shardOf(id)
 	sh.mu.Lock()
 	m, ok := sh.members[id]
 	if !ok {
 		sh.mu.Unlock()
-		return 0, nil, 0, 0, fmt.Errorf("fleet: unknown stream %q", id)
+		return 0, "", nil, 0, 0, fmt.Errorf("fleet: unknown stream %q", id)
 	}
 	delete(sh.members, id)
 	sh.mu.Unlock()
@@ -248,18 +299,20 @@ func (f *Fleet) ExportMember(id string, enc EncodeFunc) (kind byte, payload []by
 			sh.members[id] = m
 		}
 		sh.mu.Unlock()
-		return 0, nil, 0, 0, fmt.Errorf("fleet: export %q: %w", id, err)
+		return 0, "", nil, 0, 0, fmt.Errorf("fleet: export %q: %w", id, err)
 	}
 	m.removed = true
-	return kind, buf.Bytes(), m.samples, m.drifts, nil
+	f.cohortRemove(m.cohort, id)
+	return kind, m.cohort, buf.Bytes(), m.samples, m.drifts, nil
 }
 
 // ImportMember registers a member from an ExportMember payload — the
 // target half of a live stream migration. The payload's CRC32 footer is
 // verified before registration, and the member starts with the exported
-// lifetime counters so the fleet-level roll-up neither loses nor
-// double-counts samples across the move.
-func (f *Fleet) ImportMember(id string, kind byte, payload []byte, samples, drifts uint64, dec DecodeFunc) error {
+// lifetime counters and cohort so the fleet-level roll-up neither loses
+// nor double-counts samples across the move and the stream keeps
+// cooperating with its group.
+func (f *Fleet) ImportMember(id string, kind byte, cohort string, payload []byte, samples, drifts uint64, dec DecodeFunc) error {
 	br := bytes.NewReader(payload)
 	cr := ckpt.NewReader(br)
 	s, err := dec(id, kind, cr)
@@ -272,7 +325,7 @@ func (f *Fleet) ImportMember(id string, kind byte, payload []byte, samples, drif
 	if br.Len() != 0 {
 		return badFormat(fmt.Errorf("import %q: %d payload bytes left unconsumed", id, br.Len()))
 	}
-	return f.addMember(id, s, samples, drifts)
+	return f.addMember(id, s, MemberConfig{Cohort: cohort}, samples, drifts)
 }
 
 // badFormat wraps a load failure so it matches both ErrBadFormat and

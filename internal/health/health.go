@@ -55,6 +55,17 @@ type Snapshot struct {
 	// non-zero means the deployed integer port is a degraded image of the
 	// model it was quantised from.
 	QuantSaturations uint64
+	// Merges counts closed-form state merges applied to the monitor's
+	// model — cooperative seeds it accepted from fleet peers.
+	Merges uint64
+	// WarmRecoveries counts drift responses that seeded the rebuilt model
+	// from merged cohort-peer state instead of retraining cold. Only the
+	// fleet-level aggregate reports it; per-member snapshots carry 0.
+	WarmRecoveries uint64
+	// ColdFallbacks counts drift responses that wanted a warm seed but
+	// found no compatible non-drifted cohort peer and fell back to the
+	// paper's cold reconstruction. Fleet-level, like WarmRecoveries.
+	ColdFallbacks uint64
 	// Phase is the detector phase at snapshot time ("monitoring",
 	// "checking", "reconstructing").
 	Phase string
@@ -111,6 +122,9 @@ func Aggregate(members []Snapshot) Snapshot {
 		agg.ScoreHistDropped += s.ScoreHistDropped
 		agg.ScoreHistTotal += s.ScoreHistTotal
 		agg.QuantSaturations += s.QuantSaturations
+		agg.Merges += s.Merges
+		agg.WarmRecoveries += s.WarmRecoveries
+		agg.ColdFallbacks += s.ColdFallbacks
 		if phaseRank(s.Phase) > phaseRank(agg.Phase) {
 			agg.Phase = s.Phase
 		}
@@ -144,6 +158,17 @@ func (s Snapshot) String() string {
 	// log lines keep their pinned format.
 	if s.QuantSaturations > 0 {
 		fmt.Fprintf(&b, " quant-sat=%d", s.QuantSaturations)
+	}
+	// Cooperation counters follow the same only-when-nonzero rule: a
+	// fleet with cooperation off logs the exact pre-cooperation line.
+	if s.Merges > 0 {
+		fmt.Fprintf(&b, " merges=%d", s.Merges)
+	}
+	if s.WarmRecoveries > 0 {
+		fmt.Fprintf(&b, " warm-recoveries=%d", s.WarmRecoveries)
+	}
+	if s.ColdFallbacks > 0 {
+		fmt.Fprintf(&b, " cold-fallbacks=%d", s.ColdFallbacks)
 	}
 	return b.String()
 }

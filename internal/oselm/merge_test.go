@@ -1,0 +1,308 @@
+package oselm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgedrift/internal/mat"
+	"edgedrift/internal/rng"
+)
+
+// mergeCfg is the shape used throughout the merge tests.
+var mergeCfg = Config{Inputs: 6, Hidden: 12, Outputs: 4, Ridge: 1e-2}
+
+func mkMergeData(r *rng.Rand, n int, cfg Config) (xs, ts [][]float64) {
+	xs = make([][]float64, n)
+	ts = make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, cfg.Inputs)
+		ts[i] = make([]float64, cfg.Outputs)
+		r.FillUniform(xs[i], -2, 2)
+		r.FillUniform(ts[i], -1, 1)
+	}
+	return xs, ts
+}
+
+func mustModel(t *testing.T, cfg Config, seed uint64) *Model {
+	t.Helper()
+	m, err := New(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// maxDiff is the largest absolute element difference between two
+// equally-shaped matrices.
+func maxDiff(a, b *mat.Matrix) float64 {
+	var worst float64
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestMergeExactnessBatch is the closed-form oracle: merging K models
+// batch-trained on disjoint partitions must match batch training on the
+// union. Bit-level equality is not expected — the partition grams are
+// summed in a different order than the union gram — but the result is
+// tight: every β and P element within 1e-8 of the oracle (the matrices
+// here are O(1)-scaled, so this is ~8 significant decimal digits).
+func TestMergeExactnessBatch(t *testing.T) {
+	const parts, perPart = 3, 40
+	r := rng.New(99)
+	xs, ts := mkMergeData(r, parts*perPart, mergeCfg)
+
+	full := mustModel(t, mergeCfg, 7)
+	if err := full.InitTrainBatch(xs, ts); err != nil {
+		t.Fatal(err)
+	}
+
+	srcs := make([]*Model, parts)
+	for k := 0; k < parts; k++ {
+		srcs[k] = mustModel(t, mergeCfg, 7) // same seed: shared projection
+		lo, hi := k*perPart, (k+1)*perPart
+		if err := srcs[k].InitTrainBatch(xs[lo:hi], ts[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := mustModel(t, mergeCfg, 7)
+	if err := merged.Merge(srcs...); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(merged.Beta(), full.Beta()); d > 1e-8 {
+		t.Fatalf("merged β differs from union batch solution by %g", d)
+	}
+	if d := maxDiff(merged.P(), full.P()); d > 1e-8 {
+		t.Fatalf("merged P differs from union batch solution by %g", d)
+	}
+	if merged.SamplesSeen() != parts*perPart {
+		t.Fatalf("merged SamplesSeen = %d, want %d", merged.SamplesSeen(), parts*perPart)
+	}
+
+	// The merged model predicts like the oracle.
+	probe := make([]float64, mergeCfg.Inputs)
+	rng.New(123).FillUniform(probe, -2, 2)
+	got := merged.Predict(nil, probe)
+	want := full.Predict(nil, probe)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("output %d: merged %g vs oracle %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeExactnessSequential: at Forgetting == 1 the Sherman-Morrison
+// recursion computes the same P as the batch formula, so merging
+// sequentially trained sources also matches the union batch oracle
+// (looser tolerance: each rank-1 step rounds independently).
+func TestMergeExactnessSequential(t *testing.T) {
+	const parts, perPart = 2, 60
+	r := rng.New(5)
+	xs, ts := mkMergeData(r, parts*perPart, mergeCfg)
+
+	full := mustModel(t, mergeCfg, 3)
+	if err := full.InitTrainBatch(xs, ts); err != nil {
+		t.Fatal(err)
+	}
+
+	srcs := make([]*Model, parts)
+	for k := 0; k < parts; k++ {
+		srcs[k] = mustModel(t, mergeCfg, 3)
+		for i := k * perPart; i < (k+1)*perPart; i++ {
+			srcs[k].Train(xs[i], ts[i])
+		}
+	}
+	merged := mustModel(t, mergeCfg, 3)
+	if err := merged.Merge(srcs...); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(merged.Beta(), full.Beta()); d > 1e-6 {
+		t.Fatalf("merged β differs from union batch solution by %g", d)
+	}
+}
+
+// TestMergeExactnessFloat32: the f32 backend shares the f64 P (the RLS
+// state never narrows), so the merge algebra is the same; only β crosses
+// the precision boundary. The oracle tolerance is float32 resolution.
+func TestMergeExactnessFloat32(t *testing.T) {
+	cfg := mergeCfg
+	cfg.Precision = Float32
+	const parts, perPart = 2, 40
+	r := rng.New(11)
+	xs, ts := mkMergeData(r, parts*perPart, cfg)
+
+	full := mustModel(t, cfg, 7)
+	if err := full.InitTrainBatch(xs, ts); err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]*Model, parts)
+	for k := 0; k < parts; k++ {
+		srcs[k] = mustModel(t, cfg, 7)
+		lo, hi := k*perPart, (k+1)*perPart
+		if err := srcs[k].InitTrainBatch(xs[lo:hi], ts[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := mustModel(t, cfg, 7)
+	if err := merged.Merge(srcs...); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(merged.Beta(), full.Beta()); d > 1e-5 {
+		t.Fatalf("merged f32 β differs from union batch solution by %g", d)
+	}
+}
+
+// TestMergeSelfInclusion: including the destination itself in the
+// sources keeps its evidence — merging {m, peer} into m equals the
+// union oracle, even though m's state is overwritten mid-merge.
+func TestMergeSelfInclusion(t *testing.T) {
+	const perPart = 30
+	r := rng.New(21)
+	xs, ts := mkMergeData(r, 2*perPart, mergeCfg)
+	full := mustModel(t, mergeCfg, 9)
+	if err := full.InitTrainBatch(xs, ts); err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t, mergeCfg, 9)
+	if err := m.InitTrainBatch(xs[:perPart], ts[:perPart]); err != nil {
+		t.Fatal(err)
+	}
+	peer := mustModel(t, mergeCfg, 9)
+	if err := peer.InitTrainBatch(xs[perPart:], ts[perPart:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(m, peer); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(m.Beta(), full.Beta()); d > 1e-8 {
+		t.Fatalf("self-inclusive merge differs from union oracle by %g", d)
+	}
+}
+
+// TestMergeIncompatible is the exhaustive rejection table: every way two
+// models can fail to be mergeable must be rejected loudly with
+// ErrMergeIncompatible, and the destination must be left untouched.
+func TestMergeIncompatible(t *testing.T) {
+	mk := func(mut func(*Config), seed uint64) *Model {
+		c := mergeCfg
+		if mut != nil {
+			mut(&c)
+		}
+		m, err := New(c, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		src  *Model
+	}{
+		{"input shape", mk(func(c *Config) { c.Inputs = 5 }, 7)},
+		{"hidden shape", mk(func(c *Config) { c.Hidden = 13 }, 7)},
+		{"output shape", mk(func(c *Config) { c.Outputs = 3 }, 7)},
+		{"activation", mk(func(c *Config) { c.Activation = Tanh }, 7)},
+		{"precision", mk(func(c *Config) { c.Precision = Float32 }, 7)},
+		{"forgetting", mk(func(c *Config) { c.Forgetting = 0.97 }, 7)},
+		{"ridge", mk(func(c *Config) { c.Ridge = 1e-3 }, 7)},
+		{"weight scale", mk(func(c *Config) { c.WeightScale = 0.5 }, 7)},
+		{"seed topology", mk(nil, 8)},
+		{"nil model", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := mk(nil, 7)
+			xs, ts := mkMergeData(rng.New(1), 20, mergeCfg)
+			if err := dst.InitTrainBatch(xs, ts); err != nil {
+				t.Fatal(err)
+			}
+			before := dst.Beta()
+			err := dst.Merge(tc.src)
+			if !errors.Is(err, ErrMergeIncompatible) {
+				t.Fatalf("err = %v, want ErrMergeIncompatible", err)
+			}
+			var me *MergeError
+			if !errors.As(err, &me) || me.Reason == "" {
+				t.Fatalf("err = %v, want a *MergeError with a reason", err)
+			}
+			if d := maxDiff(dst.Beta(), before); d != 0 {
+				t.Fatalf("failed merge mutated the destination (Δβ = %g)", d)
+			}
+			// Fingerprints disagree exactly when merge is incompatible.
+			if tc.src != nil && tc.src.Fingerprint() == dst.Fingerprint() {
+				t.Fatal("incompatible models share a fingerprint")
+			}
+		})
+	}
+	t.Run("empty sources", func(t *testing.T) {
+		dst := mk(nil, 7)
+		if err := dst.Merge(); !errors.Is(err, ErrMergeIncompatible) {
+			t.Fatalf("err = %v, want ErrMergeIncompatible", err)
+		}
+	})
+}
+
+// TestFingerprintStable: the fingerprint depends only on what
+// CompatibleWith checks — training must not change it, and two models
+// built from the same seed must share it.
+func TestFingerprintStable(t *testing.T) {
+	a := mustModel(t, mergeCfg, 7)
+	b := mustModel(t, mergeCfg, 7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same-seed models have different fingerprints")
+	}
+	before := a.Fingerprint()
+	xs, ts := mkMergeData(rng.New(2), 50, mergeCfg)
+	for i := range xs {
+		a.Train(xs[i], ts[i])
+	}
+	if a.Fingerprint() != before {
+		t.Fatal("training changed the fingerprint")
+	}
+	if err := a.CompatibleWith(b); err != nil {
+		t.Fatalf("same-seed models incompatible: %v", err)
+	}
+}
+
+// TestAutoencoderMerge checks the autoencoder wrapper: model delegation
+// plus the metric compatibility check.
+func TestAutoencoderMerge(t *testing.T) {
+	cfg := Config{Inputs: 6, Hidden: 10, Ridge: 1e-2}
+	mk := func(metric ScoreMetric) *Autoencoder {
+		a, err := NewAutoencoder(cfg, metric, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	xs, _ := mkMergeData(rng.New(17), 60, Config{Inputs: 6, Outputs: 6})
+	full, p1, p2 := mk(MSE), mk(MSE), mk(MSE)
+	if err := full.InitTrainBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.InitTrainBatch(xs[:30]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.InitTrainBatch(xs[30:]); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk(MSE)
+	if err := dst.Merge(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	probe := xs[0]
+	if d := math.Abs(dst.Score(probe) - full.Score(probe)); d > 1e-8 {
+		t.Fatalf("merged autoencoder score differs from oracle by %g", d)
+	}
+	if err := dst.Merge(mk(L1Mean)); !errors.Is(err, ErrMergeIncompatible) {
+		t.Fatal("metric mismatch not rejected")
+	}
+	if mk(MSE).Fingerprint() == mk(L1Mean).Fingerprint() {
+		t.Fatal("different metrics share an autoencoder fingerprint")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,7 @@ type Router struct {
 	batches     metrics.Counter
 	forwardErrs metrics.Counter
 	migrations  metrics.Counter
+	recoveries  metrics.Counter
 	connections atomic.Int64
 }
 
@@ -383,6 +385,96 @@ func (r *Router) migrateIn(addr string, st wire.State) error {
 	return nil
 }
 
+// Recover re-seeds a drifted stream's model from the mergeable states
+// of cohort peer streams, wherever the shards own them — the cross-
+// shard form of the fleet's warm recovery. Each peer's state is fetched
+// non-destructively under the peer entry's shared lock (its batches
+// keep flowing; the donor shard snapshots at a sample boundary), then
+// the combined seed is pushed to the target stream's shard under the
+// target entry's exclusive lock, so no batch for the recovering stream
+// is in flight anywhere while its model is replaced — the same fence
+// that makes migration exact. Peer fingerprints must agree with each
+// other (checked here) and with the target (checked by its shard).
+func (r *Router) Recover(stream string, peers []string) error {
+	var states [][]byte
+	var fprint uint64
+	for _, p := range peers {
+		if p == stream {
+			continue // the target's own post-drift state is not a donor
+		}
+		pe := r.entryFor(p)
+		pe.mu.RLock()
+		addr := pe.addr
+		ms, err := r.fetchState(addr, p)
+		pe.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("router: recover %q: fetch state of peer %q from %s: %w", stream, p, addr, err)
+		}
+		if fprint == 0 {
+			fprint = ms.Fingerprint
+		} else if ms.Fingerprint != fprint {
+			return fmt.Errorf("router: recover %q: peer %q fingerprint %#x disagrees with %#x — not one cohort",
+				stream, p, ms.Fingerprint, fprint)
+		}
+		states = append(states, ms.States...)
+	}
+	if len(states) == 0 {
+		return fmt.Errorf("router: recover %q: no peer states collected", stream)
+	}
+	e := r.entryFor(stream)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := r.mergeSeed(e.addr, wire.MergeStates{
+		Stream:      stream,
+		Fingerprint: fprint,
+		States:      states,
+	}); err != nil {
+		return fmt.Errorf("router: recover %q on %s: %w", stream, e.addr, err)
+	}
+	r.recoveries.Inc()
+	return nil
+}
+
+func (r *Router) fetchState(addr, stream string) (wire.MergeStates, error) {
+	pl := r.poolFor(addr)
+	sc, err := pl.get()
+	if err != nil {
+		return wire.MergeStates{}, err
+	}
+	ms, err := wire.NewClient(sc).FetchState(stream)
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			pl.put(sc)
+		} else {
+			sc.Close()
+		}
+		return wire.MergeStates{}, err
+	}
+	pl.put(sc)
+	return ms, nil
+}
+
+func (r *Router) mergeSeed(addr string, ms wire.MergeStates) error {
+	pl := r.poolFor(addr)
+	sc, err := pl.get()
+	if err != nil {
+		return err
+	}
+	err = wire.NewClient(sc).MergeSeed(ms)
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			pl.put(sc)
+		} else {
+			sc.Close()
+		}
+		return err
+	}
+	pl.put(sc)
+	return nil
+}
+
 // Stats aggregates the counter snapshots of every shard.
 func (r *Router) Stats() (wire.Stats, error) {
 	var agg wire.Stats
@@ -420,6 +512,7 @@ func (r *Router) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_route_batches_total", "Batches relayed to shards.", nil, r.batches.Load())
 	tw.Counter("edgedrift_route_forward_errors_total", "Batch relays that failed against the shard.", nil, r.forwardErrs.Load())
 	tw.Counter("edgedrift_route_migrations_total", "Live stream migrations completed.", nil, r.migrations.Load())
+	tw.Counter("edgedrift_route_recoveries_total", "Cross-shard warm recoveries completed.", nil, r.recoveries.Load())
 	tw.Gauge("edgedrift_route_shards", "Shards in the ring.", nil, float64(len(r.cfg.Shards)))
 	tw.Gauge("edgedrift_route_streams", "Streams in the routing table.", nil, float64(nStreams))
 	tw.Gauge("edgedrift_route_connections", "Live client connections.", nil, float64(r.connections.Load()))
@@ -428,9 +521,10 @@ func (r *Router) WriteMetrics(w io.Writer) error {
 
 // AdminHandler serves the router's control plane:
 //
-//	POST /migrate?stream=S&to=ADDR  live-migrate a stream
-//	GET  /streams                   routing table, one "stream addr" per line
-//	GET  /metrics                   Prometheus exposition
+//	POST /migrate?stream=S&to=ADDR        live-migrate a stream
+//	POST /recover?stream=S&peers=A,B,...  warm-recover a stream from peers
+//	GET  /streams                         routing table, one "stream addr" per line
+//	GET  /metrics                         Prometheus exposition
 func (r *Router) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/migrate", func(w http.ResponseWriter, req *http.Request) {
@@ -448,6 +542,22 @@ func (r *Router) AdminHandler() http.Handler {
 			return
 		}
 		fmt.Fprintf(w, "migrated %s -> %s\n", stream, to)
+	})
+	mux.HandleFunc("/recover", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		stream, peers := req.FormValue("stream"), req.FormValue("peers")
+		if stream == "" || peers == "" {
+			http.Error(w, "need stream= and peers= (comma-separated)", http.StatusBadRequest)
+			return
+		}
+		if err := r.Recover(stream, strings.Split(peers, ",")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fmt.Fprintf(w, "recovered %s from %s\n", stream, peers)
 	})
 	mux.HandleFunc("/streams", func(w http.ResponseWriter, req *http.Request) {
 		table := r.Streams()

@@ -346,3 +346,149 @@ func TestAdminHandler(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossShardRecovery is the cooperative tier's integration test:
+// cohort-configured shards behind a router, peer streams serving
+// concurrently while the router fetches their states non-destructively
+// and seeds the target under its entry fence. Run under -race.
+func TestCrossShardRecovery(t *testing.T) {
+	template, stream := testTemplate(t)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		s, err := shard.New(shard.Config{Template: template, Cohort: "fans"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(ln)
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	r, err := New(Config{Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve(ln)
+	t.Cleanup(func() { r.Close() })
+	addr := ln.Addr().String()
+
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ids := []string{"t", "p0", "p1"}
+	for _, id := range ids {
+		if _, _, err := cl.SendBatch(nil, id, stream[:400]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the recovery across shards: make sure at least one peer
+	// lives on a different shard than the target.
+	if r.Where("p0") == r.Where("t") && r.Where("p1") == r.Where("t") {
+		to := addrs[0]
+		if r.Where("p1") == to {
+			to = addrs[1]
+		}
+		if err := r.Migrate("p1", to); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Peers keep serving (bit-identically) while their state is being
+	// fetched: drive them concurrently with the recovery.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ids))
+	for _, id := range []string{"p0", "p1"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			pcl, err := wire.DialClient(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer pcl.Close()
+			ref := localReference(t, template)
+			if _, err := ref.ProcessBatch("ref", stream[:400]); err != nil {
+				errs <- err
+				return
+			}
+			for off := 400; off < 900; off += 100 {
+				xs := stream[off : off+100]
+				got, _, err := pcl.SendBatch(nil, id, xs)
+				if err != nil {
+					errs <- fmt.Errorf("%s@%d: %w", id, off, err)
+					return
+				}
+				want, err := ref.ProcessBatch("ref", xs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("%s@%d: donor results diverge during recovery", id, off)
+					return
+				}
+			}
+			errs <- nil
+		}(id)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Recover("t", []string{"p0", "p1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.recoveries.Load(); got != 3 {
+		t.Fatalf("recoveries = %d, want 3", got)
+	}
+	// The recovered stream keeps serving through the router.
+	if _, _, err := cl.SendBatch(nil, "t", stream[400:500]); err != nil {
+		t.Fatalf("recovered stream stopped serving: %v", err)
+	}
+
+	// Failure paths: unknown peer, and a self-only peer list.
+	if err := r.Recover("t", []string{"nosuch"}); err == nil {
+		t.Fatal("recovery from an unknown peer succeeded")
+	}
+	if err := r.Recover("t", []string{"t"}); err == nil {
+		t.Fatal("self-recovery collected zero states but succeeded")
+	}
+
+	// The admin endpoint drives the same path.
+	admin := httptest.NewServer(r.AdminHandler())
+	defer admin.Close()
+	resp, err := http.PostForm(admin.URL+"/recover",
+		url.Values{"stream": {"t"}, "peers": {"p0,p1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/recover -> %s", resp.Status)
+	}
+	mresp, err := http.Get(admin.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(mbuf.String(), "edgedrift_route_recoveries_total 4") {
+		t.Fatalf("metrics missing recovery counter:\n%s", mbuf.String())
+	}
+}

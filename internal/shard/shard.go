@@ -7,7 +7,7 @@
 //
 // Ingest is bounded: each connection gets a reader goroutine, a bounded
 // job queue, and one worker goroutine draining it in FIFO order (per
-//-connection arrival order is the per-stream order contract, exactly
+// -connection arrival order is the per-stream order contract, exactly
 // as with a local fleet). When the queue is full the shed policy
 // decides between backpressure (block the reader — TCP pushes back to
 // the sender) and load-shedding (drop the batch at admission, tell the
@@ -59,6 +59,12 @@ type Config struct {
 	// TCP flow control pushes back to the sender), > 0 waits that long
 	// and then sheds the batch, < 0 sheds immediately.
 	ShedAfter time.Duration
+	// Cohort, when set, registers every member this shard creates or
+	// imports into that cooperation cohort, making its streams eligible
+	// for warm recovery and cross-shard state exchange (all clones of
+	// one template artifact share a merge fingerprint by construction).
+	// Requires mergeable members: incompatible with Precision Fixed16.
+	Cohort string
 	// Fleet configures the shard's fleet.
 	Fleet edgedrift.FleetConfig
 	// Logf receives shard lifecycle logs; nil means log.Printf.
@@ -80,13 +86,15 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	batches     metrics.Counter
-	shedSamples metrics.Counter
-	shedBatches metrics.Counter
-	migratedIn  metrics.Counter
-	migratedOut metrics.Counter
-	queueDepth  atomic.Int64 // queued batches across all connections
-	connections atomic.Int64
+	batches      metrics.Counter
+	shedSamples  metrics.Counter
+	shedBatches  metrics.Counter
+	migratedIn   metrics.Counter
+	migratedOut  metrics.Counter
+	mergeFetches metrics.Counter
+	mergeSeeds   metrics.Counter
+	queueDepth   atomic.Int64 // queued batches across all connections
+	connections  atomic.Int64
 }
 
 // New builds a shard server (not yet listening; call Serve).
@@ -99,6 +107,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	if cfg.Cohort != "" && cfg.Precision == edgedrift.Fixed16 {
+		return nil, errors.New("shard: cohort requires mergeable members; Q16.16 detect-only members cannot cooperate")
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -142,7 +153,15 @@ func (s *Server) ensureStream(stream string) error {
 	if err != nil {
 		return err
 	}
-	err = s.fleet.AddStage(stream, st)
+	if s.cfg.Cohort != "" {
+		mon, ok := st.(*edgedrift.Monitor)
+		if !ok {
+			return fmt.Errorf("shard: stream %q: cohort %q requires a mergeable member", stream, s.cfg.Cohort)
+		}
+		err = s.fleet.AddCohort(stream, mon, s.cfg.Cohort)
+	} else {
+		err = s.fleet.AddStage(stream, st)
+	}
 	if err != nil && isAlreadyRegistered(err) {
 		return nil // lost a create race; the member exists
 	}
@@ -271,6 +290,20 @@ func (s *Server) serveConn(c *wire.Conn) {
 				return
 			}
 			s.migrateIn(c, st)
+		case wire.TypeFetchState:
+			stream, err := parseStreamOnly(p)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				return
+			}
+			s.fetchState(c, stream)
+		case wire.TypeMergeState:
+			ms, err := wire.ParseMergeStates(p)
+			if err != nil {
+				c.WriteFrame(wire.TypeError, []byte(err.Error()))
+				return
+			}
+			s.mergeSeed(c, ms)
 		case wire.TypeStats:
 			c.WriteFrame(wire.TypeStatsReply, wire.AppendStats(nil, s.Stats()))
 		default:
@@ -362,11 +395,15 @@ func (s *Server) migrateOut(c *wire.Conn, stream string) {
 	}))
 }
 
-// migrateIn imports a member exported by another shard.
+// migrateIn imports a member exported by another shard. The wire State
+// frame does not carry a cohort — the member joins this shard's
+// configured cohort (cohort membership is a placement property, and the
+// router co-locates a cohort's shards by configuration).
 func (s *Server) migrateIn(c *wire.Conn, st wire.State) {
 	err := s.fleet.ImportMember(&edgedrift.MemberState{
 		ID:      st.Stream,
 		Kind:    st.Kind,
+		Cohort:  s.cfg.Cohort,
 		Samples: st.Samples,
 		Drifts:  st.Drifts,
 		Payload: append([]byte(nil), st.Payload...),
@@ -380,6 +417,50 @@ func (s *Server) migrateIn(c *wire.Conn, st wire.State) {
 	s.mu.Unlock()
 	s.migratedIn.Inc()
 	c.WriteFrame(wire.TypeMigrateAck, nil)
+}
+
+// fetchState exports a member's mergeable model state without
+// deregistering it — unlike migrateOut there is no tombstone and the
+// member keeps processing; this is the donor half of a cross-shard
+// warm recovery.
+func (s *Server) fetchState(c *wire.Conn, stream string) {
+	state, fprint, err := s.fleet.ExportMergeState(stream)
+	if err != nil {
+		c.WriteFrame(wire.TypeError, []byte(err.Error()))
+		return
+	}
+	s.mergeFetches.Inc()
+	c.WriteFrame(wire.TypeMergeState, wire.AppendMergeStates(nil, wire.MergeStates{
+		Stream:      stream,
+		Fingerprint: fprint,
+		States:      [][]byte{state},
+	}))
+}
+
+// mergeSeed replaces a local member's model with the closed-form merge
+// of the delivered peer states (the recovery half of a cross-shard warm
+// recovery). A non-zero fingerprint in the frame must match the target
+// member's — a cross-fleet topology mismatch fails loudly before any
+// state is touched.
+func (s *Server) mergeSeed(c *wire.Conn, ms wire.MergeStates) {
+	if ms.Fingerprint != 0 {
+		got, err := s.fleet.MemberFingerprint(ms.Stream)
+		if err != nil {
+			c.WriteFrame(wire.TypeError, []byte(err.Error()))
+			return
+		}
+		if got != ms.Fingerprint {
+			c.WriteFrame(wire.TypeError, []byte(fmt.Sprintf(
+				"shard: stream %q fingerprint %#x does not match seed fingerprint %#x", ms.Stream, got, ms.Fingerprint)))
+			return
+		}
+	}
+	if err := s.fleet.MergeSeedMember(ms.Stream, ms.States); err != nil {
+		c.WriteFrame(wire.TypeError, []byte(err.Error()))
+		return
+	}
+	s.mergeSeeds.Inc()
+	c.WriteFrame(wire.TypeMergeAck, nil)
 }
 
 // Stats snapshots the shard's counters for the wire Stats reply.
@@ -414,6 +495,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_shard_shed_samples_total", "Samples inside shed batches (never processed).", nil, s.shedSamples.Load())
 	tw.Counter("edgedrift_shard_migrations_in_total", "Streams imported via live migration.", nil, s.migratedIn.Load())
 	tw.Counter("edgedrift_shard_migrations_out_total", "Streams exported via live migration.", nil, s.migratedOut.Load())
+	tw.Counter("edgedrift_shard_merge_fetches_total", "Mergeable model states served to peers (cross-shard recovery donors).", nil, s.mergeFetches.Load())
+	tw.Counter("edgedrift_shard_merge_seeds_total", "Members re-seeded from peer merge states (cross-shard recovery targets).", nil, s.mergeSeeds.Load())
 	tw.Gauge("edgedrift_shard_queue_depth", "Batches queued across all ingest connections.", nil, float64(s.queueDepth.Load()))
 	tw.Gauge("edgedrift_shard_connections", "Live ingest connections.", nil, float64(s.connections.Load()))
 	return tw.Err()

@@ -378,3 +378,88 @@ func TestShardMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestShardMergeProtocol drives the cooperative control frames over
+// TCP: FetchState is non-destructive (the donor keeps serving, no
+// tombstone), MergeSeed replaces the target's model and is fenced by
+// the fingerprint check, and both counters reach the exposition.
+func TestShardMergeProtocol(t *testing.T) {
+	template, stream := testTemplate(t)
+	s, addr := startShard(t, Config{Template: template, Cohort: "fans"})
+
+	cl, err := wire.DialClient(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Create two monitoring streams with pre-drift data.
+	for _, id := range []string{"t", "p"} {
+		if _, _, err := cl.SendBatch(nil, id, stream[:200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := s.Fleet().Cohort("p"); got != "fans" {
+		t.Fatalf("shard-created stream joined cohort %q, want fans", got)
+	}
+
+	ms, err := cl.FetchState("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Stream != "p" || len(ms.States) != 1 || ms.Fingerprint == 0 {
+		t.Fatalf("fetch reply: stream=%q states=%d fprint=%#x", ms.Stream, len(ms.States), ms.Fingerprint)
+	}
+	// Non-destructive: the donor still serves batches afterwards.
+	if _, _, err := cl.SendBatch(nil, "p", stream[200:300]); err != nil {
+		t.Fatalf("donor stopped serving after fetch: %v", err)
+	}
+
+	// A wrong fingerprint must be rejected before any state is touched.
+	bad := ms
+	bad.Stream = "t"
+	bad.Fingerprint = ms.Fingerprint + 1
+	var re *wire.RemoteError
+	if err := cl.MergeSeed(bad); !errors.As(err, &re) {
+		t.Fatalf("fingerprint mismatch: err = %v, want RemoteError", err)
+	}
+
+	seed := ms
+	seed.Stream = "t"
+	if err := cl.MergeSeed(seed); err != nil {
+		t.Fatal(err)
+	}
+	// The seeded stream keeps serving.
+	if _, _, err := cl.SendBatch(nil, "t", stream[200:300]); err != nil {
+		t.Fatalf("target stopped serving after seed: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"edgedrift_shard_merge_fetches_total 1",
+		"edgedrift_shard_merge_seeds_total 1",
+		"edgedrift_merges_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Fetching an unknown stream fails loudly, in protocol sync.
+	if _, err := cl.FetchState("nosuch"); !errors.As(err, &re) {
+		t.Fatalf("fetch of unknown stream: err = %v, want RemoteError", err)
+	}
+}
+
+// TestShardCohortRejectsQ16 pins the loud incompatibility: a cohort
+// needs mergeable members, so a Q16.16 shard with a cohort must refuse
+// to start.
+func TestShardCohortRejectsQ16(t *testing.T) {
+	template, _ := testTemplate(t)
+	_, err := New(Config{Template: template, Precision: edgedrift.Fixed16, Cohort: "fans"})
+	if err == nil {
+		t.Fatal("Q16.16 shard with a cohort started")
+	}
+}

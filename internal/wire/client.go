@@ -116,6 +116,59 @@ func (c *Client) MigrateIn(st State) error {
 	}
 }
 
+// FetchState asks the peer for a stream's mergeable model state without
+// deregistering it — the non-destructive read half of a cross-shard
+// warm recovery. The returned states are copied out of the frame
+// buffer. It fails (RemoteError) when the member is mid-reconstruction
+// or has no mergeable state.
+func (c *Client) FetchState(stream string) (MergeStates, error) {
+	if err := c.conn.WriteFrame(TypeFetchState, appendString(nil, stream)); err != nil {
+		return MergeStates{}, err
+	}
+	typ, p, err := c.conn.ReadFrame()
+	if err != nil {
+		return MergeStates{}, err
+	}
+	switch typ {
+	case TypeMergeState:
+		ms, err := ParseMergeStates(p)
+		if err != nil {
+			return MergeStates{}, err
+		}
+		for i, st := range ms.States {
+			ms.States[i] = append([]byte(nil), st...)
+		}
+		return ms, nil
+	case TypeError:
+		return MergeStates{}, &RemoteError{Msg: string(p)}
+	default:
+		return MergeStates{}, fmt.Errorf("%w: unexpected reply type %#x to fetch-state", ErrProtocol, typ)
+	}
+}
+
+// MergeSeed hands peer merge states to the shard owning stream, which
+// replaces the stream's model with their closed-form combination. A
+// non-zero ms.Fingerprint must match the target member's fingerprint —
+// the shard rejects the seed otherwise, so an incompatible cross-shard
+// merge fails loudly before any state is touched.
+func (c *Client) MergeSeed(ms MergeStates) error {
+	if err := c.conn.WriteFrame(TypeMergeState, AppendMergeStates(nil, ms)); err != nil {
+		return err
+	}
+	typ, p, err := c.conn.ReadFrame()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case TypeMergeAck:
+		return nil
+	case TypeError:
+		return &RemoteError{Msg: string(p)}
+	default:
+		return fmt.Errorf("%w: unexpected reply type %#x to merge-seed", ErrProtocol, typ)
+	}
+}
+
 // Stats fetches the peer's counter snapshot.
 func (c *Client) Stats() (Stats, error) {
 	if err := c.conn.WriteFrame(TypeStats, nil); err != nil {

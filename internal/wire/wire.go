@@ -68,6 +68,20 @@ const (
 	TypeMigrateIn = 0x22
 	// TypeMigrateAck acknowledges a MigrateIn: payload is the stream name.
 	TypeMigrateAck = 0x23
+	// TypeFetchState asks the shard for a stream's mergeable model state
+	// WITHOUT deregistering it: payload is the stream name. The shard
+	// answers TypeMergeState (one state) or TypeError. Unlike MigrateOut
+	// this is non-destructive — the member keeps processing — and it only
+	// succeeds for a monitoring member, so a cross-shard recovery can
+	// never ship mid-reconstruction state.
+	TypeFetchState = 0x24
+	// TypeMergeState carries merge state (see AppendMergeStates): as a
+	// reply to FetchState (one state, the member's fingerprint) or as a
+	// request seeding a stream with peer states (answered by
+	// TypeMergeAck or TypeError).
+	TypeMergeState = 0x25
+	// TypeMergeAck acknowledges a merge seed: payload is the stream name.
+	TypeMergeAck = 0x26
 	// TypeStats asks the shard for its counters; empty payload. The
 	// shard answers TypeStatsReply.
 	TypeStats = 0x30
@@ -429,6 +443,70 @@ func ParseState(p []byte) (State, error) {
 	}
 	st.Payload = rest
 	return st, nil
+}
+
+// --- Merge payloads ---
+
+// MergeStates is cooperative model state in flight: a fetch reply
+// carries one exported state and the member's merge fingerprint; a seed
+// request carries the peer states a stream's model should be replaced
+// with (Fingerprint then holds the expected fingerprint of the target,
+// 0 to skip the check).
+type MergeStates struct {
+	Stream      string
+	Fingerprint uint64
+	States      [][]byte
+}
+
+// AppendMergeStates encodes a MergeState payload.
+//
+//	u16 streamLen | stream | u64 fingerprint | u32 count | count × (u32 len | state)
+func AppendMergeStates(dst []byte, ms MergeStates) []byte {
+	dst = appendString(dst, ms.Stream)
+	dst = binary.LittleEndian.AppendUint64(dst, ms.Fingerprint)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ms.States)))
+	for _, st := range ms.States {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st)))
+		dst = append(dst, st...)
+	}
+	return dst
+}
+
+// ParseMergeStates decodes a MergeState payload. The states alias p —
+// copy before the next ReadFrame if they outlive the frame.
+func ParseMergeStates(p []byte) (MergeStates, error) {
+	var ms MergeStates
+	stream, rest, err := parseString(p)
+	if err != nil {
+		return ms, err
+	}
+	if len(rest) < 8+4 {
+		return ms, fmt.Errorf("%w: short merge-state header", ErrProtocol)
+	}
+	ms.Stream = stream
+	ms.Fingerprint = binary.LittleEndian.Uint64(rest)
+	count := int(binary.LittleEndian.Uint32(rest[8:]))
+	rest = rest[12:]
+	if count == 0 || count > math.MaxUint16 {
+		return ms, fmt.Errorf("%w: implausible merge-state count %d", ErrProtocol, count)
+	}
+	ms.States = make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return ms, fmt.Errorf("%w: merge-state payload truncated at state %d", ErrProtocol, i)
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return ms, fmt.Errorf("%w: merge-state payload truncated at state %d", ErrProtocol, i)
+		}
+		ms.States = append(ms.States, rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return ms, fmt.Errorf("%w: merge-state payload has %d trailing bytes", ErrProtocol, len(rest))
+	}
+	return ms, nil
 }
 
 // --- Stats payloads ---

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"net"
@@ -188,5 +189,50 @@ func TestFrameLengthBounds(t *testing.T) {
 	_, _, err := NewConn(b).ReadFrame()
 	if !errors.Is(err, ErrProtocol) {
 		t.Fatalf("implausible frame length accepted: %v", err)
+	}
+}
+
+func TestMergeStatesRoundTrip(t *testing.T) {
+	ms := MergeStates{
+		Stream:      "fan-3",
+		Fingerprint: 0xdeadbeefcafe,
+		States:      [][]byte{{1, 2, 3}, {}, {4}},
+	}
+	got, err := ParseMergeStates(AppendMergeStates(nil, ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != ms.Stream || got.Fingerprint != ms.Fingerprint || len(got.States) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range ms.States {
+		if !bytes.Equal(got.States[i], ms.States[i]) {
+			t.Fatalf("state %d round-tripped to %v", i, got.States[i])
+		}
+	}
+}
+
+func TestMergeStatesRejects(t *testing.T) {
+	good := AppendMergeStates(nil, MergeStates{Stream: "s", Fingerprint: 1,
+		States: [][]byte{{9, 9}, {8}}})
+	// Zero states is not a valid frame in either direction.
+	if _, err := ParseMergeStates(AppendMergeStates(nil, MergeStates{Stream: "s"})); err == nil {
+		t.Fatal("zero-state payload accepted")
+	}
+	// Any truncation must be rejected.
+	for n := 0; n < len(good); n++ {
+		if _, err := ParseMergeStates(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := ParseMergeStates(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A state length pointing past the payload must be rejected.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-3] = 0xff // first byte of the last state's u32 length
+	if _, err := ParseMergeStates(bad); err == nil {
+		t.Fatal("oversized state length accepted")
 	}
 }
