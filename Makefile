@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen bench-coop fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen bench-coop bench-scenarios fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -102,16 +102,27 @@ bench-loadgen:
 # Cooperative vs per-stream drift recovery on the cooling-fan
 # scenarios: cold rebuild against warm-seeding from the closed-form
 # merge of adapted cohort peers, written as the BENCH_8 artifact. Exits
-# non-zero if warm recovery is not strictly faster.
+# non-zero if warm recovery converged slower than cold (both-zero
+# passes: nothing left to beat when cold is already instantaneous).
 bench-coop:
 	$(GO) run ./cmd/driftbench coop -json BENCH_8.json
 
+# Label-delay scenario matrix: {delay × budget × drift type × detector
+# mode} on the cooling-fan streams — unsupervised baseline, hybrid
+# DDM fusion fed late labels, and the reoccurring-drift model pool —
+# written as the BENCH_9 artifact. Exits non-zero unless the pooled
+# restore beats the cold rebuild on reoccurring drift and stays a
+# bystander on sudden drift.
+bench-scenarios:
+	$(GO) run ./cmd/driftbench scenarios -json BENCH_9.json
+
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`
-# takes one target per invocation, hence three runs.
+# takes one target per invocation, hence one run per format.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=10s ./internal/oselm/
 	$(GO) test -fuzz=FuzzLoadState -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzLoadPool -fuzztime=10s ./internal/pool/
 	$(GO) test -fuzz=FuzzLoadMonitor -fuzztime=10s .
 
 # The full pre-merge gate: tier-1 plus the 32-bit Arm cross-compile,

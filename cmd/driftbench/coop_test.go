@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestCoopGate pins the CI gate semantics: warm must converge and be no
+// slower than cold, with the degenerate warm == cold == 0 stream — cold
+// recovery already instantaneous — passing rather than failing the old
+// strictly-faster assertion.
+func TestCoopGate(t *testing.T) {
+	cases := []struct {
+		name       string
+		warm, cold int
+		wantErr    bool
+	}{
+		{"warm strictly faster", 10, 50, false},
+		{"both instantaneous", 0, 0, false},
+		{"equal nonzero", 30, 30, false},
+		{"warm slower", 50, 10, true},
+		{"warm never converged", -1, 50, true},
+		{"cold never converged, warm did", 40, -1, false},
+		{"warm instant, cold slow", 0, 200, false},
+	}
+	for _, c := range cases {
+		err := coopGateErr(c.name, c.warm, c.cold)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: coopGateErr(%d, %d) = %v, wantErr=%v", c.name, c.warm, c.cold, err, c.wantErr)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 //	driftbench route -shards host1:7600,host2:7600  # consistent-hash router
 //	driftbench loadgen -shard-range 1,2,4 -json BENCH_7.json  # tier scaling curve
 //	driftbench coop -json BENCH_8.json  # cooperative vs per-stream drift recovery
+//	driftbench scenarios -json BENCH_9.json  # label-delay matrix: hybrid detection + model pool
 package main
 
 import (
@@ -58,6 +59,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "coop" {
 		os.Exit(runCoop(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
+		os.Exit(runScenarios(os.Args[2:]))
 	}
 	os.Exit(run())
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edgedrift/internal/eval"
+)
+
+// matrix builds a minimal passing matrix the gate cases below perturb.
+func matrix() *eval.ScenarioMatrix {
+	return &eval.ScenarioMatrix{Cells: []eval.ScenarioCell{
+		{Scenario: "reoccurring", Mode: "unsupervised", DetectAt: 156, RecoverySamples: 200},
+		{Scenario: "reoccurring", Mode: "pooled", DetectAt: 156, RecoverySamples: 50, PoolHits: 1, PoolRestores: 1},
+		{Scenario: "sudden", Mode: "unsupervised", DetectAt: 156, RecoverySamples: 200},
+		{Scenario: "sudden", Mode: "pooled", DetectAt: 156, RecoverySamples: 200},
+	}}
+}
+
+func TestScenariosGate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(m *eval.ScenarioMatrix)
+		wantErr string
+	}{
+		{"pass", func(m *eval.ScenarioMatrix) {}, ""},
+		{"pooled equals instantaneous cold", func(m *eval.ScenarioMatrix) {
+			m.Cells[0].RecoverySamples = 0
+			m.Cells[1].RecoverySamples = 0
+		}, ""},
+		{"never restored", func(m *eval.ScenarioMatrix) {
+			m.Cells[1].PoolRestores = 0
+		}, "never restored"},
+		{"pooled never recovered", func(m *eval.ScenarioMatrix) {
+			m.Cells[1].RecoverySamples = -1
+		}, "never recovered"},
+		{"pooled slower than cold", func(m *eval.ScenarioMatrix) {
+			m.Cells[1].RecoverySamples = 300
+		}, "not faster"},
+		{"restore on sudden drift", func(m *eval.ScenarioMatrix) {
+			m.Cells[3].PoolRestores = 2
+		}, "never reoccurs"},
+		{"pooled bystander diverged", func(m *eval.ScenarioMatrix) {
+			m.Cells[3].DetectAt = 170
+		}, "diverged"},
+		{"missing cells", func(m *eval.ScenarioMatrix) {
+			m.Cells = m.Cells[:1]
+		}, "missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := matrix()
+			tc.mutate(m)
+			err := scenariosGateErr(m)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected gate failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("gate error %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -40,6 +40,14 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_merges_total", "Closed-form state merges applied to member models.", nil, h.Merges)
 	tw.Counter("edgedrift_warm_recoveries_total", "Drift recoveries seeded from cohort peer state.", nil, h.WarmRecoveries)
 	tw.Counter("edgedrift_cold_fallbacks_total", "Drift recoveries that fell back to a cold rebuild (no eligible cohort peer).", nil, h.ColdFallbacks)
+	tw.Counter("edgedrift_labels_observed_total", "Late labels fed to hybrid supervised arms.", nil, h.LabelsObserved)
+	tw.Counter("edgedrift_supervised_fires_total", "Drift alarms raised by supervised error-rate arms.", nil, h.SupervisedFires)
+	tw.Counter("edgedrift_supervised_triggers_total", "Reconstructions started by supervised alarms (FuseEither).", nil, h.SupervisedTriggers)
+	tw.Counter("edgedrift_hybrid_confirms_total", "Drifts confirmed by both hybrid arms within the confirmation window.", nil, h.HybridConfirms)
+	tw.Counter("edgedrift_pool_hits_total", "Post-drift windows matched by a pooled model checkpoint.", nil, h.PoolHits)
+	tw.Counter("edgedrift_pool_misses_total", "Post-drift windows no pooled checkpoint fit.", nil, h.PoolMisses)
+	tw.Counter("edgedrift_pool_restores_total", "Pooled checkpoints restored in place of cold retraining.", nil, h.PoolRestores)
+	tw.Counter("edgedrift_pool_evictions_total", "Pool checkpoints evicted (LRU capacity or decode failure).", nil, h.PoolEvictions)
 	healthy := 0.0
 	if h.Healthy() {
 		healthy = 1

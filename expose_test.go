@@ -55,6 +55,14 @@ func TestWriteMetricsExposition(t *testing.T) {
 		"# TYPE edgedrift_process_latency_seconds histogram",
 		`edgedrift_process_latency_seconds_bucket{stream="line-a",le="+Inf"} 25`,
 		`edgedrift_process_latency_seconds_count{stream="line-a"} 25`,
+		"# TYPE edgedrift_labels_observed_total counter",
+		"# TYPE edgedrift_supervised_fires_total counter",
+		"# TYPE edgedrift_supervised_triggers_total counter",
+		"# TYPE edgedrift_hybrid_confirms_total counter",
+		"# TYPE edgedrift_pool_hits_total counter",
+		"# TYPE edgedrift_pool_misses_total counter",
+		"# TYPE edgedrift_pool_restores_total counter",
+		"# TYPE edgedrift_pool_evictions_total counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

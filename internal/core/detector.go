@@ -340,6 +340,12 @@ type Detector struct {
 	// merges counts cooperative peer-state merges applied to the model
 	// (MergeSeed); surfaced through Health.
 	merges uint64
+	// driftHook, when set, runs at the top of every detected-drift
+	// transition, before the detector flips to Reconstructing and before
+	// ResetModelOnDrift clears the model — the only instant the outgoing
+	// model and its calibrated detector state are both still intact and
+	// serialisable. The model pool checkpoints from here.
+	driftHook func()
 
 	ops       *opcount.Counter
 	stageOps  [numStages]opcount.Counter
@@ -812,6 +818,11 @@ func (d *Detector) TriggerReconstruction() {
 // event list is an evaluation artefact and must match the paper's
 // detection semantics exactly.
 func (d *Detector) enterReconstruction(recordEvent bool) {
+	if recordEvent && d.driftHook != nil {
+		// Run before any state flips: the hook must see the outgoing
+		// model pre-reset and a detector that SaveState still accepts.
+		d.driftHook()
+	}
 	d.drift = true
 	d.check = false
 	if recordEvent {
@@ -819,6 +830,13 @@ func (d *Detector) enterReconstruction(recordEvent bool) {
 	}
 	d.beginReconstruction()
 }
+
+// SetDriftHook registers fn to run at the start of every detected-drift
+// transition (TriggerReconstruction included; health-driven divergence
+// rebuilds excluded — there is nothing worth checkpointing about a
+// diverged model). The hook runs with the detector still in its
+// pre-drift state; it must not call Process. A nil fn clears the hook.
+func (d *Detector) SetDriftHook(fn func()) { d.driftHook = fn }
 
 // Rejected returns how many samples the ingestion guard refused
 // (GuardReject policy).

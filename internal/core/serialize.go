@@ -150,6 +150,85 @@ func boolU32(b bool) uint32 {
 	return 0
 }
 
+// CheckpointState serialises the detector's calibrated state with the
+// transient window machinery normalised away: the check gate closed,
+// the window empty and the recent centroids back at their calibrated
+// values. SaveState taken verbatim at a drift instant would freeze a
+// full window (win == Window, check set) into the artifact — a detector
+// restored from it could never close that window again and would wedge.
+// The normalised image is what the model pool stores: restoring it
+// drops the detector cleanly back into Monitoring under the thresholds
+// it was running when the checkpoint was cut. The live detector is left
+// bit-identical to before the call.
+func (d *Detector) CheckpointState(w io.Writer) error {
+	if !d.calibrated {
+		return errors.New("core: CheckpointState before Calibrate")
+	}
+	if d.drift {
+		return errors.New("core: CheckpointState during reconstruction")
+	}
+	savedCor := make([][]float64, len(d.cor))
+	for c := range d.cor {
+		savedCor[c] = append([]float64(nil), d.cor[c]...)
+	}
+	savedNum := append([]int(nil), d.num...)
+	savedCheck, savedWin, savedDist := d.check, d.win, d.dist
+	d.resetRecent()
+	d.check, d.win = false, 0
+	err := d.SaveState(w)
+	for c := range d.cor {
+		copy(d.cor[c], savedCor[c])
+	}
+	copy(d.num, savedNum)
+	d.check, d.win, d.dist = savedCheck, savedWin, savedDist
+	return err
+}
+
+// RestoreState adopts a SaveState/CheckpointState artifact into the
+// live detector in place — thresholds, centroids, counts and window
+// state — without rebinding the model pointer, so wrappers holding
+// references to this detector (a Monitor, a Guard, a Hybrid) keep
+// working. The artifact's structural configuration must match the
+// detector's; lifetime diagnostics (samplesSeen, driftEvents, health
+// counters) are deliberately kept, because a restore is an event in
+// this detector's life, not a new detector. Any ongoing reconstruction
+// is abandoned: the caller is adopting a fully-adapted state instead.
+// On error the detector is unchanged.
+func (d *Detector) RestoreState(r io.Reader) error {
+	if !d.calibrated {
+		return errors.New("core: RestoreState before Calibrate")
+	}
+	tmp, err := LoadState(r, d.model)
+	if err != nil {
+		return err
+	}
+	// Normalise the operational knobs that are host-local and not part
+	// of the serialised structural identity.
+	want := d.cfg
+	got := tmp.cfg
+	got.Guard, got.ClampLimit = want.Guard, want.ClampLimit
+	if got != want {
+		return fmt.Errorf("core: restore config mismatch: artifact %+v, detector %+v", tmp.cfg, d.cfg)
+	}
+	d.thetaError, d.thetaDrift = tmp.thetaError, tmp.thetaDrift
+	for c := 0; c < d.classes; c++ {
+		copy(d.trainCor[c], tmp.trainCor[c])
+		copy(d.cor[c], tmp.cor[c])
+	}
+	copy(d.num, tmp.num)
+	copy(d.baseNum, tmp.baseNum)
+	d.check, d.win, d.dist = tmp.check, tmp.win, tmp.dist
+	d.drift = false
+	d.count = 0
+	d.reconDists.Reset()
+	d.reconScores.Reset()
+	for c := range d.starve {
+		d.starve[c] = 0
+	}
+	d.calibrated = true
+	return nil
+}
+
 // LoadState deserialises detector state written by SaveState — the
 // current checksummed v3 format or the legacy v1/v2 formats — and binds
 // it to the given model, which must match the saved class count and

@@ -99,11 +99,14 @@ func (d *Detector) Observe(err bool) Level {
 	if p+s < d.pMin+d.sMin {
 		d.pMin, d.sMin = p, s
 	}
+	// Strictly greater, as in the original formulation: on a perfect
+	// stream p, s, pMin and sMin are all zero, and `>=` would fire a
+	// drift out of nothing at exactly MinSamples observations.
 	switch {
-	case p+s >= d.pMin+d.cfg.DriftSigma*d.sMin:
+	case p+s > d.pMin+d.cfg.DriftSigma*d.sMin:
 		d.Reset()
 		return Drift
-	case p+s >= d.pMin+d.cfg.WarnSigma*d.sMin:
+	case p+s > d.pMin+d.cfg.WarnSigma*d.sMin:
 		return Warning
 	default:
 		return InControl

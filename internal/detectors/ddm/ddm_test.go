@@ -37,6 +37,19 @@ func TestStableErrorRateStaysInControl(t *testing.T) {
 	}
 }
 
+// TestPerfectStreamStaysInControl: a stream with zero errors must never
+// alarm — p, s and both minima are all zero, and the decision rule used
+// to compare them with >=, firing a drift out of nothing at exactly
+// MinSamples observations.
+func TestPerfectStreamStaysInControl(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 1000; i++ {
+		if lvl := d.Observe(false); lvl != InControl {
+			t.Fatalf("level %v on a perfect stream at observation %d", lvl, i)
+		}
+	}
+}
+
 func TestErrorRateJumpTriggersDrift(t *testing.T) {
 	d := New(Config{})
 	r := rng.New(2)

@@ -11,7 +11,7 @@ func TestAblationAndExtensionRegistries(t *testing.T) {
 		t.Fatalf("ablation registry size %d", len(abl))
 	}
 	ext := RegistryExtensions()
-	if len(ext) != 7 {
+	if len(ext) != 8 {
 		t.Fatalf("extension registry size %d", len(ext))
 	}
 	for _, e := range append(abl, ext...) {

@@ -30,6 +30,7 @@ func RegistryExtensions() []Experiment {
 		{ID: "ext-realdrift", Title: "Extension: real drift without virtual drift (SEA) — the distribution detectors' blind spot", Run: ExtensionRealDrift},
 		{ID: "ext-health", Title: "Extension: non-finite input robustness — guard policies on a poisoned stream", Run: ExtensionHealth},
 		{ID: "ext-coop", Title: "Extension: cooperative warm recovery vs per-stream cold rebuild after drift", Run: ExtensionCoop},
+		{ID: "ext-scenarios", Title: "Extension: label-delay matrix — hybrid supervised/unsupervised detection and the reoccurring-drift model pool", Run: ExtensionScenarios},
 	}
 }
 

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunScenariosMatrix runs the full label-delay matrix once and
+// checks the structural claims the extension makes: the pool restores
+// on reoccurring drift and beats the cold rebuild, stays out of the way
+// on sudden drift, and timely labels buy the hybrid earlier detection.
+func TestRunScenariosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cooling-fan matrix in -short mode")
+	}
+	m, err := RunScenarios(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 12 {
+		t.Fatalf("matrix has %d cells, want 12", len(m.Cells))
+	}
+	cell := func(scenario, mode string, delay int, budget float64) *ScenarioCell {
+		for i := range m.Cells {
+			c := &m.Cells[i]
+			if c.Scenario == scenario && c.Mode == mode && c.Delay == delay && c.Budget == budget {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%d/%v", scenario, mode, delay, budget)
+		return nil
+	}
+
+	for _, scenario := range []string{"sudden", "reoccurring"} {
+		for _, c := range m.Cells {
+			if c.Scenario != scenario {
+				continue
+			}
+			if c.DetectAt < 0 {
+				t.Errorf("%s/%s never detected", c.Scenario, c.Mode)
+			}
+			if c.Mode != "hybrid" && c.LabelsObserved != 0 {
+				t.Errorf("%s/%s observed %d labels without a supervised arm", c.Scenario, c.Mode, c.LabelsObserved)
+			}
+		}
+	}
+
+	// The tentpole acceptance claim: on reoccurring drift the pooled
+	// restore beats the cold retrain on recovery delay.
+	cold := cell("reoccurring", "unsupervised", 0, 0)
+	pooled := cell("reoccurring", "pooled", 0, 0)
+	if pooled.PoolHits < 1 || pooled.PoolRestores < 1 {
+		t.Fatalf("reoccurring pooled: hits=%d restores=%d, want >= 1", pooled.PoolHits, pooled.PoolRestores)
+	}
+	if pooled.RecoverySamples < 0 ||
+		(cold.RecoverySamples >= 0 && pooled.RecoverySamples >= cold.RecoverySamples) {
+		t.Fatalf("pooled recovery %d not faster than cold %d on reoccurring drift",
+			pooled.RecoverySamples, cold.RecoverySamples)
+	}
+	// On sudden drift the old concept never returns: the pool must not
+	// restore, and the pooled arm must match the cold baseline.
+	suddenPooled := cell("sudden", "pooled", 0, 0)
+	suddenCold := cell("sudden", "unsupervised", 0, 0)
+	if suddenPooled.PoolRestores != 0 {
+		t.Fatalf("sudden pooled restored %d times, want 0", suddenPooled.PoolRestores)
+	}
+	if suddenPooled.DetectAt != suddenCold.DetectAt {
+		t.Fatalf("pooled bystander diverged: detect %d vs %d", suddenPooled.DetectAt, suddenCold.DetectAt)
+	}
+	// Timely, complete labels must not detect later than the
+	// unsupervised baseline (the supervised arm can only add alarms).
+	hybrid := cell("sudden", "hybrid", 0, 1.0)
+	if hybrid.DetectAt > suddenCold.DetectAt {
+		t.Fatalf("hybrid with instant labels detected at %d, after unsupervised %d",
+			hybrid.DetectAt, suddenCold.DetectAt)
+	}
+	if hybrid.LabelsObserved == 0 {
+		t.Fatal("hybrid cell observed no labels")
+	}
+}
+
+func TestScenariosOutcomeRendering(t *testing.T) {
+	m := &ScenarioMatrix{
+		Seed: 1, Window: 50, ProbeLen: 100, CheckEvery: 10, Budget: 2500, Margin: 1.25,
+		Cells: []ScenarioCell{
+			{Scenario: "reoccurring", Mode: "pooled", DetectAt: 156, DetectDelay: 36,
+				RecoverySamples: 50, PoolHits: 1, PoolRestores: 1},
+			{Scenario: "reoccurring", Mode: "hybrid", DelayKind: "fixed", Delay: 50, Budget: 0.25,
+				DetectAt: 156, DetectDelay: 36, RecoverySamples: 200, LabelsObserved: 25},
+		},
+	}
+	out := ScenariosOutcome(m)
+	if len(out.Tables) != 1 || len(out.Tables[0].Rows) != 2 {
+		t.Fatalf("outcome shape: %+v", out)
+	}
+	s := out.Tables[0].String()
+	for _, want := range []string{"pooled", "hybrid", "1/1", "0.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -584,6 +584,93 @@ func TestStartAntiEntropy(t *testing.T) {
 	t.Fatalf("periodic rounds never ran: merges %d, %d", ms[0].mergeCount(), ms[1].mergeCount())
 }
 
+// TestStartAntiEntropyRestart: after stop() returns, a second
+// StartAntiEntropy must drive fresh rounds — the stop of the first
+// driver must not wedge the fleet for later ones.
+func TestStartAntiEntropyRestart(t *testing.T) {
+	f := New(Config{})
+	ms := []*mergeStage{newMergeStage(1, 99), newMergeStage(2, 99)}
+	for i, m := range ms {
+		if err := f.AddMember(fmt.Sprintf("m%d", i), m, MemberConfig{Cohort: "fans"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRounds := func(min int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if ms[0].mergeCount() >= min && ms[1].mergeCount() >= min {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("rounds never reached %d: merges %d, %d", min, ms[0].mergeCount(), ms[1].mergeCount())
+	}
+
+	stop := f.StartAntiEntropy(time.Millisecond)
+	waitRounds(1)
+	stop()
+	stop() // idempotent
+
+	// No rounds may run after stop has returned.
+	quiesced := ms[0].mergeCount()
+	time.Sleep(10 * time.Millisecond)
+	if got := ms[0].mergeCount(); got != quiesced {
+		t.Fatalf("rounds kept running after stop: %d -> %d", quiesced, got)
+	}
+
+	// A fresh driver on the same fleet runs again.
+	stop2 := f.StartAntiEntropy(time.Millisecond)
+	defer stop2()
+	waitRounds(quiesced + 1)
+}
+
+// TestStartAntiEntropyConcurrent: two drivers started concurrently on
+// one fleet, each stopped twice from separate goroutines, must neither
+// race nor deadlock (run under -race via the Makefile race target; the
+// PR 8 sync.Once fix covered only a double-stop of a single driver).
+func TestStartAntiEntropyConcurrent(t *testing.T) {
+	f := New(Config{})
+	ms := []*mergeStage{newMergeStage(1, 99), newMergeStage(2, 99)}
+	for i, m := range ms {
+		if err := f.AddMember(fmt.Sprintf("m%d", i), m, MemberConfig{Cohort: "fans"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stops := make([]func(), 2)
+	for i := range stops {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stops[i] = f.StartAntiEntropy(time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+
+	// Let both drivers overlap on live rounds for a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && ms[0].mergeCount() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if ms[0].mergeCount() < 2 {
+		t.Fatalf("concurrent drivers ran no rounds: merges %d", ms[0].mergeCount())
+	}
+
+	// Double-stop each driver from two goroutines at once.
+	for _, stop := range stops {
+		for k := 0; k < 2; k++ {
+			wg.Add(1)
+			go func(stop func()) {
+				defer wg.Done()
+				stop()
+			}(stop)
+		}
+	}
+	wg.Wait()
+}
+
 // TestCohortMemoryCharged: MemoryBytes moves when a cohort name is
 // attached, pinning the accounting next to the Sizeof-derived constant.
 func TestCohortMemoryCharged(t *testing.T) {

@@ -503,6 +503,53 @@ func TestExportMemberFailureRollsBack(t *testing.T) {
 	}
 }
 
+// TestExportMemberCollision: if Add re-created the id during a failed
+// export, the rollback must not silently discard either member — the
+// new registration keeps the slot and the export reports the collision
+// as a typed error. (The old rollback's bare `if !exists` branch
+// dropped the original member and its lifetime counters without a
+// trace.)
+func TestExportMemberCollision(t *testing.T) {
+	f := New(Config{})
+	if err := f.Add("s", &countStage{driftEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ProcessBatch("s", samples(6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encode failed")
+	usurper := &countStage{driftEvery: 100}
+	encCollide := func(id string, s core.Streaming, w io.Writer) (byte, error) {
+		// The id is out of the registry while the encoder runs, so a
+		// concurrent Add succeeds — simulate it inline.
+		if err := f.Add(id, usurper); err != nil {
+			t.Errorf("re-Add during export: %v", err)
+		}
+		return 0, boom
+	}
+	_, _, _, _, _, err := f.ExportMember("s", encCollide)
+	if !errors.Is(err, ErrExportCollision) {
+		t.Fatalf("export err = %v, want ErrExportCollision", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("export err = %v, should also wrap the encode error", err)
+	}
+	// The new registration survives and is the one processing samples.
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d after collision, want 1", f.Len())
+	}
+	if _, err := f.ProcessBatch("s", samples(2, 0)); err != nil {
+		t.Fatalf("new member unusable after collision: %v", err)
+	}
+	if usurper.samples != 2 {
+		t.Fatalf("usurper samples = %d, want 2 (original member resurrected?)", usurper.samples)
+	}
+	// The original's lifetime counters are gone — fresh member stats.
+	if s, _, err := f.MemberStats("s"); err != nil || s != 2 {
+		t.Fatalf("stats after collision = %d, %v; want 2 (new member's own)", s, err)
+	}
+}
+
 // TestImportMemberCorruption: a corrupt payload must fail with
 // ErrBadFormat and register nothing.
 func TestImportMemberCorruption(t *testing.T) {

@@ -44,6 +44,14 @@ var fleetMagicV3 = [6]byte{'F', 'L', 'E', 'E', 'T', '3'}
 // known version, or one that is truncated or corrupt.
 var ErrBadFormat = errors.New("fleet: not a serialised fleet (or corrupt artifact)")
 
+// ErrExportCollision reports a failed ExportMember whose rollback found
+// the id re-registered: between the deregistration and the encode
+// failure, Add (or an import) created a new member under the same id.
+// The new member wins the registry slot; the exported member and its
+// lifetime counters are gone from the fleet, which the caller must know
+// about rather than discover as silently reset sample counts.
+var ErrExportCollision = errors.New("fleet: export rollback collision: id re-registered during export")
+
 // Sanity bounds so a corrupt header fails as ErrBadFormat instead of
 // demanding an absurd allocation.
 const (
@@ -294,11 +302,42 @@ func (f *Fleet) ExportMember(id string, enc EncodeFunc) (kind byte, cohort strin
 		// Roll back: the member must survive a failed export. Taking the
 		// shard lock while holding the member lock is safe — no path in
 		// this package waits on a member lock while holding a shard lock.
+		// If Add re-created the id while the member was deregistered, the
+		// new member keeps the slot: overwriting it would vanish a live
+		// stream, and dropping the new one would undo a registration the
+		// caller was told succeeded. The exported member is retired
+		// instead, and the collision is reported as a typed error so the
+		// caller knows its lifetime counters did not survive the rollback.
 		sh.mu.Lock()
-		if _, exists := sh.members[id]; !exists {
+		usurper, exists := sh.members[id]
+		if !exists {
 			sh.members[id] = m
 		}
 		sh.mu.Unlock()
+		if exists {
+			// The id was re-registered while the member was out of the
+			// registry. The new member keeps the slot — overwriting it
+			// would vanish a registration the caller was told succeeded —
+			// so the exported member is retired and the collision reported
+			// as a typed error: its lifetime counters did not survive.
+			m.removed = true
+			if m.cohort != "" {
+				// Drop the retired member's cohort entry unless the new
+				// member re-joined the same cohort (the index is keyed by
+				// (cohort, id), so same-cohort removal would orphan the
+				// new member from its group). Locking the new member while
+				// holding m's lock is safe: m left the registry, so no
+				// other path can hold its lock and wait on another member.
+				usurper.mu.Lock()
+				sameCohort := usurper.cohort == m.cohort
+				usurper.mu.Unlock()
+				if !sameCohort {
+					f.cohortRemove(m.cohort, id)
+				}
+			}
+			return 0, "", nil, 0, 0, fmt.Errorf("fleet: export %q: %w (samples=%d drifts=%d lost; encode error: %w)",
+				id, ErrExportCollision, m.samples, m.drifts, err)
+		}
 		return 0, "", nil, 0, 0, fmt.Errorf("fleet: export %q: %w", id, err)
 	}
 	m.removed = true

@@ -66,6 +66,31 @@ type Snapshot struct {
 	// found no compatible non-drifted cohort peer and fell back to the
 	// paper's cold reconstruction. Fleet-level, like WarmRecoveries.
 	ColdFallbacks uint64
+	// LabelsObserved counts late ground-truth labels fed to a hybrid
+	// stage's supervised side channel. Zero means labels never arrived
+	// and the stage was a pure bystander.
+	LabelsObserved uint64
+	// SupervisedFires counts drift alarms raised by the supervised
+	// error-rate arm (DDM/ADWIN over the late-label error stream).
+	SupervisedFires uint64
+	// SupervisedTriggers counts reconstructions the supervised arm
+	// actually started (either-fires fusion; fires during an ongoing
+	// reconstruction trigger nothing).
+	SupervisedTriggers uint64
+	// HybridConfirms counts fusion confirmations: an unsupervised and a
+	// supervised alarm within the confirmation window of each other
+	// (both-confirm fusion policy).
+	HybridConfirms uint64
+	// PoolHits counts post-drift window matches against the reoccurring
+	// -drift model pool; PoolMisses counts match attempts that found no
+	// fitting checkpoint and left the cold reconstruction running.
+	PoolHits   uint64
+	PoolMisses uint64
+	// PoolRestores counts checkpointed models restored bit-exactly
+	// instead of retraining (equals PoolHits unless a restore failed).
+	PoolRestores uint64
+	// PoolEvictions counts checkpoints the bounded LRU pool dropped.
+	PoolEvictions uint64
 	// Phase is the detector phase at snapshot time ("monitoring",
 	// "checking", "reconstructing").
 	Phase string
@@ -125,6 +150,14 @@ func Aggregate(members []Snapshot) Snapshot {
 		agg.Merges += s.Merges
 		agg.WarmRecoveries += s.WarmRecoveries
 		agg.ColdFallbacks += s.ColdFallbacks
+		agg.LabelsObserved += s.LabelsObserved
+		agg.SupervisedFires += s.SupervisedFires
+		agg.SupervisedTriggers += s.SupervisedTriggers
+		agg.HybridConfirms += s.HybridConfirms
+		agg.PoolHits += s.PoolHits
+		agg.PoolMisses += s.PoolMisses
+		agg.PoolRestores += s.PoolRestores
+		agg.PoolEvictions += s.PoolEvictions
 		if phaseRank(s.Phase) > phaseRank(agg.Phase) {
 			agg.Phase = s.Phase
 		}
@@ -169,6 +202,16 @@ func (s Snapshot) String() string {
 	}
 	if s.ColdFallbacks > 0 {
 		fmt.Fprintf(&b, " cold-fallbacks=%d", s.ColdFallbacks)
+	}
+	// Hybrid-detection and model-pool counters render only when the
+	// features are live, keeping the pinned log line for plain monitors.
+	if s.LabelsObserved > 0 {
+		fmt.Fprintf(&b, " labels=%d sup-fires=%d sup-triggers=%d confirms=%d",
+			s.LabelsObserved, s.SupervisedFires, s.SupervisedTriggers, s.HybridConfirms)
+	}
+	if s.PoolHits+s.PoolMisses+s.PoolEvictions > 0 {
+		fmt.Fprintf(&b, " pool(hits=%d misses=%d restores=%d evicted=%d)",
+			s.PoolHits, s.PoolMisses, s.PoolRestores, s.PoolEvictions)
 	}
 	return b.String()
 }

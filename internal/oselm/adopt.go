@@ -1,0 +1,51 @@
+package oselm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AdoptState copies src's learned and random state into m in place:
+// the random projection (W, b), the learned output weights β, the RLS
+// inverse-covariance P, the sequential-init counter and the watchdog
+// phase. Both models must share one configuration. Adoption exists for
+// restores that must not rebind pointers — a Monitor or a wrapping
+// stage holds this model, so a checkpointed model is poured into the
+// live instance rather than swapped for it. After AdoptState, m
+// continues a stream bit-identically to src (the watchdog phase is
+// copied because a re-symmetrisation pass landing on a different
+// sample would change bits). The watchdog's lifetime reset counter is
+// deliberately kept — it is m's health history, not model state.
+func (m *Model) AdoptState(src *Model) error {
+	if src == nil {
+		return errors.New("oselm: AdoptState from nil model")
+	}
+	if m.cfg != src.cfg {
+		return fmt.Errorf("oselm: AdoptState config mismatch: have %+v, adopting %+v", m.cfg, src.cfg)
+	}
+	if m.w32 != nil {
+		copy(m.w32.Data, src.w32.Data)
+		copy(m.bias32, src.bias32)
+		copy(m.beta32.Data, src.beta32.Data)
+	} else {
+		copy(m.w.Data, src.w.Data)
+		copy(m.bias, src.bias)
+		copy(m.beta.Data, src.beta.Data)
+	}
+	copy(m.p.Data, src.p.Data)
+	m.inits = src.inits
+	m.wdCount = src.wdCount
+	return nil
+}
+
+// AdoptState copies src's model state into the autoencoder in place;
+// the score metric must match (it is part of the serialised identity).
+func (a *Autoencoder) AdoptState(src *Autoencoder) error {
+	if src == nil {
+		return errors.New("oselm: AdoptState from nil autoencoder")
+	}
+	if a.metric != src.metric {
+		return fmt.Errorf("oselm: AdoptState metric mismatch: %v vs %v", a.metric, src.metric)
+	}
+	return a.model.AdoptState(src.model)
+}

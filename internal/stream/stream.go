@@ -12,11 +12,18 @@ package stream
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 )
+
+// ErrNonFinite reports a CSV feature cell that parsed as NaN or ±Inf.
+// Such values used to pass the parser and only surface downstream as
+// guard rejections with the CSV line number lost; rejecting them here
+// keeps the provenance in the error.
+var ErrNonFinite = errors.New("stream: non-finite feature value")
 
 // Data is a labelled (or unlabelled) sample stream held in memory.
 type Data struct {
@@ -94,6 +101,9 @@ func ReadCSV(r io.Reader) (*Data, error) {
 			v, err := strconv.ParseFloat(rec[j], 64)
 			if err != nil {
 				return nil, fmt.Errorf("stream: line %d column %q: %w", line, header[j], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("stream: line %d column %q: %w %q", line, header[j], ErrNonFinite, rec[j])
 			}
 			x[j] = v
 		}

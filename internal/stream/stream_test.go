@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -49,6 +50,34 @@ func TestReadCSVErrors(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
 			t.Fatalf("case %d: expected error for %q", i, in)
 		}
+	}
+}
+
+// TestReadCSVNonFinite: NaN and ±Inf parse fine as floats, but a
+// monitor fed them only rejects downstream with the CSV provenance
+// lost — the parser must refuse them with a line-numbered error that
+// matches ErrNonFinite.
+func TestReadCSVNonFinite(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"NaN", "a,b,label\n1,2,0\n3,NaN,1\n"},
+		{"Inf", "a,b,label\n1,2,0\nInf,4,1\n"},
+		{"negative Inf", "a,b\n1,-Inf\n"},
+		{"infinity spelled out", "a,b\n-Infinity,2\n"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.in))
+		if !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("%s: err = %v, want ErrNonFinite", c.name, err)
+		}
+		if !strings.Contains(err.Error(), "line 3") && !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("%s: error lost the line number: %v", c.name, err)
+		}
+	}
+	// Finite values in the same layout still parse.
+	if _, err := ReadCSV(strings.NewReader("a,b,label\n1,2,0\n3,4,1\n")); err != nil {
+		t.Fatalf("finite stream rejected: %v", err)
 	}
 }
 
