@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen bench-coop bench-scenarios fuzz-smoke check
+.PHONY: build cross test vet staticcheck race bench bench-kernels bench-fleet bench-precision bench-compare bench-loadgen bench-coop bench-scenarios bench-pressure fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,8 +33,9 @@ staticcheck:
 # concurrent Fleet integration tests. wire/shard/router are the
 # distributed serve tier — the router test is the end-to-end shard
 # migration integration test, so it runs under the detector too.
+# pressure holds the governor that ticks inside the shard's loop.
 race:
-	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/... ./internal/fleet/... ./internal/wire/... ./internal/shard/... ./internal/router/... .
+	$(GO) test -race ./internal/model/... ./internal/eval/... ./internal/core/... ./internal/fleet/... ./internal/wire/... ./internal/shard/... ./internal/router/... ./internal/pressure/... .
 
 # Kernel and hot-path micro-benchmarks at the detector's real shapes.
 bench-kernels:
@@ -116,6 +117,15 @@ bench-coop:
 bench-scenarios:
 	$(GO) run ./cmd/driftbench scenarios -json BENCH_9.json
 
+# Adaptive-capacity forced-degradation matrix: each Table 2/3 stream
+# replayed at every degradation level the governor can force (f64
+# baseline, demoted-f32, demoted-q16), reporting throughput and
+# detection-quality deltas as the BENCH_10 artifact. Exits non-zero if
+# the golden gate fails — a demote→promote excursion must leave the
+# full-precision path bit-exactly untouched.
+bench-pressure:
+	$(GO) run ./cmd/driftbench pressure -json BENCH_10.json
+
 # Short fuzz passes over every deserialiser: corrupt or truncated
 # artifacts must fail with ErrBadFormat, never panic. `go test -fuzz`
 # takes one target per invocation, hence one run per format.
@@ -124,6 +134,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadState -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzLoadPool -fuzztime=10s ./internal/pool/
 	$(GO) test -fuzz=FuzzLoadMonitor -fuzztime=10s .
+	$(GO) test -fuzz=FuzzLoadFleet -fuzztime=10s .
 
 # The full pre-merge gate: tier-1 plus the 32-bit Arm cross-compile,
 # static analysis, the race detector over the concurrent packages, and a

@@ -10,12 +10,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"edgedrift/internal/stats"
 
 	"edgedrift"
 	"edgedrift/internal/core"
@@ -70,6 +71,8 @@ func runLoadgen(args []string) int {
 	seed := fs.Uint64("seed", 1, "random seed for the trained template")
 	queueDepth := fs.Int("queue-depth", 64, "per-connection shard queue bound in batches")
 	shedAfter := fs.Duration("shed-after", 0, "shard admission policy (see `driftbench shard`)")
+	pressureBudget := fs.Duration("pressure-latency-budget", 0, "run each shard under the adaptive capacity governor with this per-batch p99 budget (0 disables)")
+	pressureInterval := fs.Duration("pressure-interval", 0, "governor sampling interval in spawned shards (0 means 500ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,7 +128,8 @@ func runLoadgen(args []string) int {
 		pt, err := runLoadgenPoint(bin, tmplPath, data, pointConfig{
 			shards: k, streams: *streams, samples: *samples, batch: *batch,
 			window: *window, precision: *precision, queueDepth: *queueDepth,
-			shedAfter: *shedAfter,
+			shedAfter: *shedAfter, pressureBudget: *pressureBudget,
+			pressureInterval: *pressureInterval,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %d shards: %v\n", k, err)
@@ -154,6 +158,11 @@ type pointConfig struct {
 	precision                               string
 	queueDepth                              int
 	shedAfter                               time.Duration
+	// pressureBudget > 0 runs each spawned shard under the adaptive
+	// capacity governor with that per-batch ingest p99 budget,
+	// sampling every pressureInterval.
+	pressureBudget   time.Duration
+	pressureInterval time.Duration
 }
 
 // runLoadgenPoint measures one shard count: spawn the shard processes,
@@ -369,13 +378,20 @@ send:
 // spawnShard re-executes this binary as `driftbench shard` on port 0
 // and scrapes the bound address from its first stdout line.
 func spawnShard(bin, tmplPath string, cfg pointConfig) (*exec.Cmd, string, error) {
-	cmd := exec.Command(bin, "shard",
+	args := []string{"shard",
 		"-addr", "127.0.0.1:0",
 		"-template", tmplPath,
 		"-precision", cfg.precision,
 		"-queue-depth", strconv.Itoa(cfg.queueDepth),
 		"-shed-after", cfg.shedAfter.String(),
-	)
+	}
+	if cfg.pressureBudget > 0 {
+		args = append(args,
+			"-pressure-latency-budget", cfg.pressureBudget.String(),
+			"-pressure-interval", cfg.pressureInterval.String(),
+		)
+	}
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -429,12 +445,12 @@ func stopProc(cmd *exec.Cmd) {
 	}
 }
 
-// percentile reads the q-quantile from unsorted latency samples.
+// percentile reads the q-quantile from unsorted latency samples,
+// deferring to the stats package instead of hand-rolling the index
+// arithmetic.
 func percentile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sort.Float64s(xs)
-	i := int(q * float64(len(xs)-1))
-	return xs[i]
+	return stats.Quantile(xs, q)
 }

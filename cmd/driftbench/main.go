@@ -12,12 +12,13 @@
 //	driftbench fleet -streams 64      # multi-stream fleet throughput
 //	driftbench fleet -precision q16   # fleet of Q16.16 fixed-point members
 //	driftbench serve -addr :9100      # replay streams, serve /metrics + /health
-//	driftbench precision -json BENCH_5.json  # f64/f32/q16 scoring throughput
+//	driftbench precision -json BENCH_6.json  # f64/f32/q16 scoring throughput
 //	driftbench shard -addr :7600      # one shard of the distributed serve tier
 //	driftbench route -shards host1:7600,host2:7600  # consistent-hash router
 //	driftbench loadgen -shard-range 1,2,4 -json BENCH_7.json  # tier scaling curve
 //	driftbench coop -json BENCH_8.json  # cooperative vs per-stream drift recovery
 //	driftbench scenarios -json BENCH_9.json  # label-delay matrix: hybrid detection + model pool
+//	driftbench pressure -json BENCH_10.json  # forced-degradation matrix + golden gate
 package main
 
 import (
@@ -62,6 +63,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
 		os.Exit(runScenarios(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "pressure" {
+		os.Exit(runPressure(os.Args[2:]))
 	}
 	os.Exit(run())
 }

@@ -11,6 +11,7 @@ import (
 
 	"edgedrift"
 	"edgedrift/internal/datasets/nslkdd"
+	"edgedrift/internal/pressure"
 	"edgedrift/internal/shard"
 )
 
@@ -56,6 +57,9 @@ func runShard(args []string) int {
 	shedAfter := fs.Duration("shed-after", 0, "admission policy when a queue is full: 0 blocks (pure backpressure), >0 waits then sheds, negative sheds immediately")
 	shards := fs.Int("fleet-shards", 8, "fleet registry shard count")
 	seed := fs.Uint64("seed", 1, "random seed for the trained template (when -template is empty)")
+	pressureBudget := fs.Duration("pressure-latency-budget", 0, "per-batch ingest p99 budget; >0 runs the adaptive capacity governor, demoting members while the windowed p99 exceeds it")
+	pressureMem := fs.Int("pressure-memory-budget", 0, "fleet retained-bytes budget for the governor (0 leaves the memory axis unenforced)")
+	pressureInterval := fs.Duration("pressure-interval", 0, "governor sampling interval (0 means 500ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,12 +80,21 @@ func runShard(args []string) int {
 		return 1
 	}
 
+	var pcfg *pressure.Config
+	if *pressureBudget > 0 || *pressureMem > 0 {
+		pcfg = &pressure.Config{
+			LatencyBudgetNs:   uint64(*pressureBudget),
+			MemoryBudgetBytes: *pressureMem,
+		}
+	}
 	s, err := shard.New(shard.Config{
-		Template:   tmpl,
-		Precision:  prec,
-		QueueDepth: *queueDepth,
-		ShedAfter:  *shedAfter,
-		Fleet:      edgedrift.FleetConfig{Shards: *shards},
+		Template:         tmpl,
+		Precision:        prec,
+		QueueDepth:       *queueDepth,
+		ShedAfter:        *shedAfter,
+		Fleet:            edgedrift.FleetConfig{Shards: *shards},
+		Pressure:         pcfg,
+		PressureInterval: *pressureInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shard: %v\n", err)

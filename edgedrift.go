@@ -35,7 +35,6 @@ import (
 	"fmt"
 
 	"edgedrift/internal/core"
-	"edgedrift/internal/fixed"
 	"edgedrift/internal/health"
 	"edgedrift/internal/mat"
 	"edgedrift/internal/model"
@@ -143,6 +142,12 @@ type Monitor struct {
 	det   *core.Detector
 	rng   *rng.Rand
 	fit   bool
+
+	// degraded is the reduced-precision twin installed by Demote and
+	// dropped by Promote. While non-nil, model and det above are frozen
+	// as the retained full-precision origin and every sample flows
+	// through the twin; see transition.go for the lifecycle.
+	degraded core.Streaming
 }
 
 // A fitted Monitor is itself a pipeline stage: the Fleet schedules it
@@ -268,6 +273,9 @@ func (m *Monitor) Process(x []float64) Result {
 	if !m.fit {
 		panic("edgedrift: Process before Fit")
 	}
+	if m.degraded != nil {
+		return m.degraded.Process(x)
+	}
 	res := m.det.Process(x)
 	// The finiteness re-check covers GuardClamp, where the detector
 	// processed a repaired copy but x itself still carries the bad values.
@@ -289,6 +297,15 @@ func (m *Monitor) ProcessBatch(dst []Result, xs [][]float64) []Result {
 	if !m.fit {
 		panic("edgedrift: ProcessBatch before Fit")
 	}
+	if m.degraded != nil {
+		if bs, ok := m.degraded.(core.BatchStreaming); ok {
+			return bs.ProcessBatch(dst, xs)
+		}
+		for _, x := range xs {
+			dst = append(dst, m.degraded.Process(x))
+		}
+		return dst
+	}
 	if m.opts.TrainDuringMonitor {
 		for _, x := range xs {
 			dst = append(dst, m.Process(x))
@@ -301,8 +318,14 @@ func (m *Monitor) ProcessBatch(dst []Result, xs [][]float64) []Result {
 // Health assembles a structured health snapshot of the monitor: guard
 // counters, RLS watchdog state, and score-distribution summary. Cheap
 // enough to call every sample; intended for operational dashboards and
-// periodic logging.
-func (m *Monitor) Health() HealthSnapshot { return m.det.Health() }
+// periodic logging. While demoted it reports the active twin's health —
+// the state actually processing samples.
+func (m *Monitor) Health() HealthSnapshot {
+	if m.degraded != nil {
+		return m.degraded.Health()
+	}
+	return m.det.Health()
+}
 
 // Predict scores x without advancing the detector: it returns the
 // predicted class and the anomaly (reconstruction) score.
@@ -311,23 +334,56 @@ func (m *Monitor) Predict(x []float64) (label int, score float64) {
 }
 
 // DriftEvents returns the 0-based indices of processed samples on which
-// drift was detected.
-func (m *Monitor) DriftEvents() []int { return m.det.DriftEvents() }
+// drift was detected. While demoted at f32 it reports the twin's history
+// (which continues the origin's); the q16 twin keeps its own flag-only
+// view, so the origin's record is returned unchanged.
+func (m *Monitor) DriftEvents() []int {
+	if t, ok := m.degraded.(*Monitor); ok {
+		return t.DriftEvents()
+	}
+	return m.det.DriftEvents()
+}
 
 // Reconstructions returns how many model rebuilds have completed.
-func (m *Monitor) Reconstructions() int { return m.det.Reconstructions() }
+func (m *Monitor) Reconstructions() int {
+	if t, ok := m.degraded.(*Monitor); ok {
+		return t.Reconstructions()
+	}
+	return m.det.Reconstructions()
+}
 
-// PhaseNow returns the current detector phase.
-func (m *Monitor) PhaseNow() Phase { return m.det.PhaseNow() }
+// PhaseNow returns the current detector phase: the twin's while demoted
+// at f32 (the active state machine), the origin's otherwise — a q16
+// twin is detect-only, so under it the origin's frozen phase stands.
+func (m *Monitor) PhaseNow() Phase {
+	if t, ok := m.degraded.(*Monitor); ok {
+		return t.PhaseNow()
+	}
+	return m.det.PhaseNow()
+}
 
-// Thresholds returns the active (θ_error, θ_drift) pair.
+// Thresholds returns the active (θ_error, θ_drift) pair — the twin's
+// while demoted at f32, since that state machine is the one testing
+// samples against them.
 func (m *Monitor) Thresholds() (errorThreshold, driftThreshold float64) {
+	if t, ok := m.degraded.(*Monitor); ok {
+		return t.Thresholds()
+	}
 	return m.det.ThetaError(), m.det.ThetaDrift()
 }
 
 // MemoryBytes audits the retained state of model + detector — the
-// number that must fit the target device's RAM.
-func (m *Monitor) MemoryBytes() int { return m.det.MemoryBytes() }
+// number that must fit the target device's RAM. While demoted it counts
+// the retained origin AND the active twin: demotion halves the hot
+// working set but exact promotability keeps the full-precision state
+// resident.
+func (m *Monitor) MemoryBytes() int {
+	n := m.det.MemoryBytes()
+	if m.degraded != nil {
+		n += m.degraded.MemoryBytes()
+	}
+	return n
+}
 
 // SetOps attaches an operation counter to every compute kernel in the
 // monitor (nil detaches).
@@ -345,10 +401,11 @@ func (m *Monitor) Precision() Precision { return m.model.Precision() }
 // during quantisation are surfaced through the stage's
 // Health().QuantSaturations counter.
 func (m *Monitor) QuantizeQ16() (Streaming, error) {
-	if !m.fit {
-		return nil, errors.New("edgedrift: QuantizeQ16 before Fit")
+	fs, err := m.deriveQ16()
+	if err != nil {
+		return nil, err
 	}
-	return fixed.NewStream(fixed.QuantizeDetector(m.det)), nil
+	return fs, nil
 }
 
 // MergeFingerprint returns the monitor's merge-compatibility

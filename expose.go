@@ -32,6 +32,12 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_events_dropped_total", "Drift events dropped on a full subscriber buffer.", nil, m.EventsDropped)
 	tw.Gauge("edgedrift_memory_bytes", "Retained state of the whole fleet (registry overhead included).", nil, float64(m.MemoryBytes))
 
+	// Adaptive capacity: the precision-lifecycle roll-up.
+	tw.Gauge("edgedrift_degraded_streams", "Members currently demoted to a reduced precision.", nil, float64(m.Degraded))
+	tw.Counter("edgedrift_demotions_total", "Member demotions to a reduced precision.", nil, m.Demotions)
+	tw.Counter("edgedrift_promotions_total", "Member promotions back to the retained full-precision origin.", nil, m.Promotions)
+	tw.Counter("edgedrift_transition_failures_total", "Refused or failed precision transitions.", nil, m.TransitionFailures)
+
 	// Health roll-up: the same numbers Snapshot.String() logs, scrapable.
 	tw.Counter("edgedrift_rejected_total", "Samples refused by the ingestion guard.", nil, h.Rejected)
 	tw.Counter("edgedrift_clamped_total", "Samples repaired by the ingestion guard.", nil, h.Clamped)
@@ -67,6 +73,10 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 		labels := []metrics.Label{{Name: "stream", Value: id}}
 		tw.Counter("edgedrift_stream_samples_total", "Samples processed per stream.", labels, sm.Samples)
 		tw.Counter("edgedrift_stream_drifts_total", "Drift detections per stream.", labels, sm.Drifts)
+		if sm.Degraded {
+			tw.Gauge("edgedrift_stream_degraded", "1 while the stream is demoted; the precision label names its active backend.",
+				[]metrics.Label{{Name: "stream", Value: id}, {Name: "precision", Value: sm.ActivePrecision}}, 1)
+		}
 		if sm.Stage == nil {
 			continue
 		}

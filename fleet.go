@@ -214,6 +214,27 @@ func (f *Fleet) StartAntiEntropy(interval time.Duration) (stop func()) {
 	return f.f.StartAntiEntropy(interval)
 }
 
+// DemoteMember switches one member to a cheaper active precision under
+// the member's lock (see Monitor.Demote for the transition lattice and
+// retention semantics). The transition is stamped into the member's
+// trace ring when the fleet is instrumented, and counted in the
+// fleet-level Demotions/TransitionFailures roll-up.
+func (f *Fleet) DemoteMember(id string, target Precision) error {
+	return f.f.DemoteMember(id, target)
+}
+
+// PromoteMember restores one member to its retained full-precision
+// origin, bit-exactly (see Monitor.Promote).
+func (f *Fleet) PromoteMember(id string) error { return f.f.PromoteMember(id) }
+
+// MemberPrecision reports one member's capacity state: whether it is
+// currently demoted, the precision actually serving its samples, and
+// whether the member supports transitions at all (q16-native stages and
+// custom stages do not).
+func (f *Fleet) MemberPrecision(id string) (degraded bool, active Precision, capable bool, err error) {
+	return f.f.MemberPrecision(id)
+}
+
 // asMonitor recovers the Monitor inside a member stage, seeing through
 // the Instrumented wrapper an instrumented fleet adds at registration.
 func asMonitor(s core.Streaming) (*Monitor, bool) {
@@ -244,13 +265,21 @@ func asFixedStream(s core.Streaming) (*fixed.Stream, bool) {
 	}
 }
 
-// Member-kind bytes recorded per member in the FLEET2 container and in
+// Member-kind bytes recorded per member in the FLEET4 container and in
 // ExportMember payloads: the discriminator that lets mixed-precision
 // fleets round-trip (satellite of the distributed tier — a shard must
 // be able to checkpoint and migrate q16 members like any other).
 const (
 	memberKindMonitor = 0 // float Monitor, OSELM3 artifact (at the fleet's save precision)
 	memberKindQ16     = 1 // fixed.Stream, QFIX01 artifact
+	// memberKindDegraded (FLEET4) is a demoted Monitor: one byte naming
+	// the twin's precision, the retained full-precision origin at its
+	// own training precision (exactness is the whole point of
+	// retention), then the active twin — an f32 Monitor serialised at
+	// the f64 wire (the f32 wire truncates the RLS state; widening
+	// f32 state onto the f64 wire is exact, so the twin round-trips
+	// bit-identically) or a Q16.16 stage in its exact integer format.
+	memberKindDegraded = 2
 )
 
 // encodeMember serialises one member stage with its kind byte; prec
@@ -258,12 +287,40 @@ const (
 func encodeMember(prec Precision) fleet.EncodeFunc {
 	return func(id string, s core.Streaming, w io.Writer) (byte, error) {
 		if mon, ok := asMonitor(s); ok {
+			if mon.degraded != nil {
+				return memberKindDegraded, encodeDegraded(mon, w)
+			}
 			return memberKindMonitor, mon.Save(w, prec)
 		}
 		if fs, ok := asFixedStream(s); ok {
 			return memberKindQ16, fs.Save(w)
 		}
 		return 0, fmt.Errorf("edgedrift: fleet member %q has no wire format (not a Monitor or Q16.16 stage)", id)
+	}
+}
+
+// encodeDegraded writes a demoted member: [twin-precision byte][origin
+// artifact at origin precision][twin artifact]. Both artifacts are
+// self-delimiting (their own magic + CRC footers), so no lengths are
+// needed.
+func encodeDegraded(mon *Monitor, w io.Writer) error {
+	active := mon.ActivePrecision()
+	if _, err := w.Write([]byte{byte(active)}); err != nil {
+		return err
+	}
+	if err := mon.Save(w, mon.opts.Precision); err != nil {
+		return err
+	}
+	switch t := mon.degraded.(type) {
+	case *Monitor:
+		// The f32 wire truncates the RLS conditioning state; the f64 wire
+		// widens the twin's f32 slabs exactly, so this — not the twin's
+		// own precision — is the lossless encoding.
+		return t.Save(w, Float64)
+	case *fixed.Stream:
+		return t.Save(w)
+	default:
+		return fmt.Errorf("edgedrift: degraded twin %T has no wire format", mon.degraded)
 	}
 }
 
@@ -274,6 +331,31 @@ func decodeMember(id string, kind byte, r io.Reader) (core.Streaming, error) {
 		return LoadMonitor(r)
 	case memberKindQ16:
 		return fixed.LoadStream(r)
+	case memberKindDegraded:
+		var ab [1]byte
+		if _, err := io.ReadFull(r, ab[:]); err != nil {
+			return nil, fmt.Errorf("edgedrift: fleet member %q: degraded header: %w", id, err)
+		}
+		mon, err := LoadMonitor(r)
+		if err != nil {
+			return nil, fmt.Errorf("edgedrift: fleet member %q: degraded origin: %w", id, err)
+		}
+		var twin core.Streaming
+		switch Precision(ab[0]) {
+		case Float32:
+			twin, err = LoadMonitor(r)
+		case Fixed16:
+			twin, err = fixed.LoadStream(r)
+		default:
+			return nil, fmt.Errorf("edgedrift: fleet member %q: implausible twin precision byte %d", id, ab[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("edgedrift: fleet member %q: degraded twin: %w", id, err)
+		}
+		if err := mon.adoptDegraded(twin); err != nil {
+			return nil, fmt.Errorf("edgedrift: fleet member %q: %w", id, err)
+		}
+		return mon, nil
 	default:
 		return nil, fmt.Errorf("edgedrift: fleet member %q: unknown member kind %d", id, kind)
 	}
@@ -291,11 +373,12 @@ func (f *Fleet) Do(id string, fn func(*Monitor) error) error {
 	})
 }
 
-// Save serialises the whole fleet in sorted-ID order: a FLEET2
+// Save serialises the whole fleet in sorted-ID order: a FLEET4
 // container in which every member is a complete artifact with its own
 // CRC32 footer — float Monitors at prec, Q16.16 stages in their exact
-// integer format — covered again by a container-level footer.
-// Corruption fails loudly at load, naming the damaged member.
+// integer format, demoted members as retained origin plus active twin —
+// covered again by a container-level footer. Corruption fails loudly at
+// load, naming the damaged member.
 func (f *Fleet) Save(w io.Writer, prec Precision) error {
 	return f.f.Save(w, encodeMember(prec))
 }
@@ -306,10 +389,11 @@ func (f *Fleet) SaveFile(path string, prec Precision) error {
 	return f.f.SaveFile(path, encodeMember(prec))
 }
 
-// LoadFleet deserialises a fleet written by Save (FLEET2, or a legacy
-// FLEET1 artifact whose members are all Monitors). Every member is
-// immediately ready to Process. Corruption — container or member level
-// — fails with an error matching ErrBadFormat.
+// LoadFleet deserialises a fleet written by Save (FLEET4, or any of the
+// legacy FLEET1–FLEET3 artifacts). Every member — including demoted
+// members, which resume at their reduced precision with the origin
+// retained — is immediately ready to Process. Corruption — container or
+// member level — fails with an error matching ErrBadFormat.
 func LoadFleet(r io.Reader, cfg FleetConfig) (*Fleet, error) {
 	fl := NewFleet(cfg)
 	if err := fl.f.Load(r, decodeMember); err != nil {

@@ -8,9 +8,10 @@ import (
 )
 
 // TraceEvent is one entry of the bounded drift trace: a drift detection
-// with enough context to reconstruct what the detector saw — which
-// stream, which sample, the anomaly score and the θ_error in force at
-// detection time.
+// — or a stamped lifecycle marker such as a precision transition — with
+// enough context to reconstruct what the detector saw: which stream,
+// which sample, the anomaly score and the θ_error in force at detection
+// time.
 type TraceEvent struct {
 	// StreamID names the instrumented stage (empty when unset).
 	StreamID string
@@ -23,6 +24,11 @@ type TraceEvent struct {
 	ThetaError float64
 	// Phase is the stage phase after the detecting sample.
 	Phase Phase
+	// Kind distinguishes stamped lifecycle markers ("demote:f32",
+	// "promote:f64", …) from ordinary drift detections (empty, the
+	// overwhelmingly common case — the field costs a nil string header
+	// per ring slot).
+	Kind string
 }
 
 // InstrumentConfig parameterises an Instrumented stage.
@@ -269,6 +275,27 @@ func (in *Instrumented) record(res Result) {
 	}
 }
 
+// Stamp writes a lifecycle marker into the trace ring at the current
+// sample index — the fleet uses it to make precision transitions
+// auditable next to the drift detections they respond to. Like every
+// trace write it is single-writer: call it from the processing
+// goroutine or under the lock that serialises it (the fleet's member
+// lock).
+func (in *Instrumented) Stamp(kind string) {
+	ev := TraceEvent{StreamID: in.id, Index: in.n, Kind: kind}
+	if in.theta != nil {
+		ev.ThetaError = in.theta()
+	}
+	if in.phase != nil {
+		ev.Phase = in.phase()
+	}
+	in.trace[in.tracePos] = ev
+	in.tracePos = (in.tracePos + 1) % len(in.trace)
+	if in.traceLen < len(in.trace) {
+		in.traceLen++
+	}
+}
+
 // Metrics returns a snapshot of the stage's counters. Like Trace, call
 // it from the processing goroutine or under the lock that serialises it
 // (the fleet's member lock — Fleet.Metrics does this for you).
@@ -307,8 +334,8 @@ func (in *Instrumented) Trace() []TraceEvent {
 // MemoryBytes audits the wrapped stage plus the instrumentation's own
 // retained state: the trace ring and the counter block.
 func (in *Instrumented) MemoryBytes() int {
-	const traceEventBytes = 16 + 8 + 8 + 8 + 8 // string header + index + score + theta + phase
-	counters := (5 + 3) * 8                    // counters + phase counters
+	const traceEventBytes = 16 + 8 + 8 + 8 + 8 + 16 // string header + index + score + theta + phase + kind header
+	counters := (5 + 3) * 8                         // counters + phase counters
 	histogram := (metrics.HistogramBuckets + 2) * 8
 	return in.inner.MemoryBytes() + len(in.trace)*traceEventBytes + counters + histogram
 }

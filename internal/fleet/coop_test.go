@@ -352,10 +352,10 @@ func TestAntiEntropy(t *testing.T) {
 	}
 }
 
-// TestFleet3CohortRoundTrip pins the FLEET3 container: cohorts survive
+// TestFleet4CohortRoundTrip pins the current container: cohorts survive
 // save/load, the loaded fleet re-derives fingerprints from the decoded
 // stages, and save-load-save is byte-identical.
-func TestFleet3CohortRoundTrip(t *testing.T) {
+func TestFleet4CohortRoundTrip(t *testing.T) {
 	f := New(Config{})
 	if err := f.AddMember("a", newMergeStage(5, 99), MemberConfig{Cohort: "fans"}); err != nil {
 		t.Fatal(err)
@@ -370,8 +370,8 @@ func TestFleet3CohortRoundTrip(t *testing.T) {
 	if err := f.Save(&buf, encMerge); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte("FLEET3")) {
-		t.Fatal("Save did not write a FLEET3 container")
+	if !bytes.Contains(buf.Bytes(), []byte("FLEET4")) {
+		t.Fatal("Save did not write a FLEET4 container")
 	}
 
 	g := New(Config{})

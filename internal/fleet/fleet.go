@@ -107,6 +107,10 @@ type member struct {
 	// at Add time through the Guard/Instrumented seams (nil for stages
 	// that cannot merge, e.g. Q16.16 detect-only members).
 	merger core.Merger
+	// trans is the stage's precision-transition capability, discovered
+	// once at Add time through the same seams (nil for single-precision
+	// stages — baselines, the Q16.16 port itself).
+	trans core.Transitioner
 	// phase reports the stage's detector phase, when it exposes one; the
 	// cooperative policies use it to skip mid-reconstruction peers.
 	phase func() core.Phase
@@ -147,6 +151,11 @@ type Fleet struct {
 	warmRecoveries atomic.Uint64
 	coldFallbacks  atomic.Uint64
 	peersSkipped   atomic.Uint64
+
+	// Precision-transition counters (see DemoteMember / PromoteMember).
+	demotions          atomic.Uint64
+	promotions         atomic.Uint64
+	transitionFailures atomic.Uint64
 }
 
 // New builds an empty fleet.
@@ -222,6 +231,9 @@ func (f *Fleet) addMember(id string, s core.Streaming, mc MemberConfig, samples,
 	if mg, ok := core.AsMerger(mb.stage); ok {
 		mb.merger = mg
 		mb.fprint = mg.MergeFingerprint()
+	}
+	if tr, ok := core.AsTransitioner(mb.stage); ok {
+		mb.trans = tr
 	}
 	if p, ok := mb.stage.(interface{ PhaseNow() core.Phase }); ok {
 		mb.phase = p.PhaseNow
@@ -577,6 +589,92 @@ func (f *Fleet) MemberFingerprint(id string) (uint64, error) {
 	return m.fprint, nil
 }
 
+// DemoteMember switches one member to a cheaper numeric backend at
+// runtime (see core.Transitioner: the full-precision state is retained,
+// so the matching PromoteMember is bit-exact). The transition runs under
+// the member lock — at a sample boundary, like every other member
+// mutation — and is stamped into the member's trace ring when the fleet
+// is instrumented. Members without the transition capability (baseline
+// detectors, the Q16.16 port) and invalid transitions fail loudly and
+// count as TransitionFailures.
+func (f *Fleet) DemoteMember(id string, p oselm.Precision) error {
+	m, err := f.member(id)
+	if err != nil {
+		f.transitionFailures.Add(1)
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.trans == nil {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: stream %q has no precision-transition capability", id)
+	}
+	if err := m.trans.Demote(p); err != nil {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: demote %q: %w", id, err)
+	}
+	f.demotions.Add(1)
+	if m.instr != nil {
+		m.instr.Stamp("demote:" + p.String())
+	}
+	return nil
+}
+
+// PromoteMember drops a demoted member's reduced-precision twin and
+// resumes its retained full-precision origin bit-exactly from the
+// demotion instant (samples served while demoted advanced only the
+// twin). Same locking, stamping and failure accounting as DemoteMember.
+func (f *Fleet) PromoteMember(id string) error {
+	m, err := f.member(id)
+	if err != nil {
+		f.transitionFailures.Add(1)
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.trans == nil {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: stream %q has no precision-transition capability", id)
+	}
+	if err := m.trans.Promote(); err != nil {
+		f.transitionFailures.Add(1)
+		return fmt.Errorf("fleet: promote %q: %w", id, err)
+	}
+	f.promotions.Add(1)
+	if m.instr != nil {
+		m.instr.Stamp("promote:" + m.trans.ActivePrecision().String())
+	}
+	return nil
+}
+
+// MemberPrecision reports one member's transition state: whether it is
+// currently demoted and the precision samples are processed at. Members
+// without the capability report (false, Float64-zero-value) with ok
+// false.
+func (f *Fleet) MemberPrecision(id string) (degraded bool, active oselm.Precision, ok bool, err error) {
+	m, err := f.member(id)
+	if err != nil {
+		return false, 0, false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed {
+		return false, 0, false, fmt.Errorf("fleet: unknown stream %q", id)
+	}
+	if m.trans == nil {
+		return false, 0, false, nil
+	}
+	return m.trans.Degraded(), m.trans.ActivePrecision(), true, nil
+}
+
 // AntiEntropy runs one periodic cooperative merge round over a cohort:
 // every live, stable (not reconstructing), mutually compatible member contributes its
 // state, and each such member is re-seeded with the closed-form
@@ -791,6 +889,11 @@ type StreamMetrics struct {
 	// Stage carries the member's instrumentation snapshot when the fleet
 	// was built with Config.Instrument; nil otherwise.
 	Stage *core.StageMetrics
+	// Degraded reports whether the member is currently demoted, and
+	// ActivePrecision names the backend its samples are processed at
+	// ("" for members without the transition capability).
+	Degraded        bool
+	ActivePrecision string
 }
 
 // Metrics is the fleet-level metrics roll-up: whole-fleet totals plus
@@ -812,6 +915,13 @@ type Metrics struct {
 	WarmRecoveries uint64
 	ColdFallbacks  uint64
 	PeersSkipped   uint64
+	// Degraded counts members currently running demoted; Demotions,
+	// Promotions and TransitionFailures are the lifetime transition
+	// counters (see DemoteMember / PromoteMember).
+	Degraded           int
+	Demotions          uint64
+	Promotions         uint64
+	TransitionFailures uint64
 	// MemoryBytes is the whole-fleet retained-state audit.
 	MemoryBytes int
 	// PerStream holds each member's counters keyed by stream ID.
@@ -830,6 +940,13 @@ func (f *Fleet) Metrics() Metrics {
 			stage := mb.instr.Metrics()
 			sm.Stage = &stage
 		}
+		if mb.trans != nil {
+			sm.Degraded = mb.trans.Degraded()
+			sm.ActivePrecision = mb.trans.ActivePrecision().String()
+			if sm.Degraded {
+				m.Degraded++
+			}
+		}
 		m.MemoryBytes += mb.stage.MemoryBytes() + len(id) + len(mb.cohort) + memberOverheadBytes
 		m.Streams++
 		m.Samples += sm.Samples
@@ -840,6 +957,9 @@ func (f *Fleet) Metrics() Metrics {
 	m.WarmRecoveries = f.warmRecoveries.Load()
 	m.ColdFallbacks = f.coldFallbacks.Load()
 	m.PeersSkipped = f.peersSkipped.Load()
+	m.Demotions = f.demotions.Load()
+	m.Promotions = f.promotions.Load()
+	m.TransitionFailures = f.transitionFailures.Load()
 	return m
 }
 
@@ -868,13 +988,13 @@ func (f *Fleet) MemberHealth() map[string]health.Snapshot {
 // memberOverheadBytes is the registry's own cost per member beyond the
 // stage's audit and the ID/cohort bytes (charged as len(id) +
 // len(cohort)): the member struct (mutex, 16-byte stage interface
-// header, the concrete instr pointer, the 16-byte batch and merger
-// capability headers, the phase func value, the cohort string header,
-// the fingerprint, two uint64 counters, removed mark + padding = 120),
-// the map's *member value (8), and the string header of the map key
-// (16). Pinned to the real layout by an unsafe.Sizeof test so it cannot
-// rot when the struct changes.
-const memberOverheadBytes = 120 + 8 + 16
+// header, the concrete instr pointer, the 16-byte batch, merger and
+// trans capability headers, the phase func value, the cohort string
+// header, the fingerprint, two uint64 counters, removed mark + padding
+// = 136), the map's *member value (8), and the string header of the map
+// key (16). Pinned to the real layout by an unsafe.Sizeof test so it
+// cannot rot when the struct changes.
+const memberOverheadBytes = 136 + 8 + 16
 
 // MemoryBytes audits the whole fleet's retained state: the sum of every
 // member's audit plus the registry's own per-member overhead.

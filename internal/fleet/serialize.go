@@ -40,6 +40,16 @@ var fleetMagicV2 = [6]byte{'F', 'L', 'E', 'E', 'T', '2'}
 // (FLEET1/2 members decode with the empty cohort).
 var fleetMagicV3 = [6]byte{'F', 'L', 'E', 'E', 'T', '3'}
 
+// fleetMagicV4 keeps FLEET3's container layout unchanged and adds the
+// degraded member kind (the public wrapper's kind 2): a member that was
+// demoted at save time carries its retained full-precision origin AND
+// its reduced-precision twin in one payload, so a degraded fleet
+// round-trips into a degraded fleet that still promotes bit-exactly.
+// The magic is bumped anyway — a FLEET3-era loader would otherwise fail
+// on the unknown kind byte deep inside a member instead of cleanly at
+// the header. Save always writes FLEET4; Load accepts all four.
+var fleetMagicV4 = [6]byte{'F', 'L', 'E', 'E', 'T', '4'}
+
 // ErrBadFormat reports a stream that is not a serialised fleet of a
 // known version, or one that is truncated or corrupt.
 var ErrBadFormat = errors.New("fleet: not a serialised fleet (or corrupt artifact)")
@@ -79,7 +89,7 @@ type DecodeFunc func(id string, kind byte, r io.Reader) (core.Streaming, error)
 func (f *Fleet) Save(w io.Writer, enc EncodeFunc) error {
 	ids := f.IDs()
 	cw := ckpt.NewWriter(w)
-	if _, err := cw.Write(fleetMagicV3[:]); err != nil {
+	if _, err := cw.Write(fleetMagicV4[:]); err != nil {
 		return err
 	}
 	if err := putU32(cw, uint32(len(ids))); err != nil {
@@ -146,7 +156,7 @@ func (f *Fleet) Load(r io.Reader, dec DecodeFunc) error {
 	if _, err := io.ReadFull(r, got[:]); err != nil {
 		return badFormat(fmt.Errorf("load header: %w", err))
 	}
-	hasCohort := got == fleetMagicV3
+	hasCohort := got == fleetMagicV3 || got == fleetMagicV4
 	hasKind := got == fleetMagicV2 || hasCohort
 	if got != fleetMagicV1 && !hasKind {
 		return ErrBadFormat

@@ -78,6 +78,11 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
+// Quantile returns an upper bound on the q-quantile of the live
+// histogram — Snapshot().Quantile(q) without making the caller hold a
+// snapshot. See HistogramSnapshot.Quantile for the estimate's fidelity.
+func (h *Histogram) Quantile(q float64) uint64 { return h.Snapshot().Quantile(q) }
+
 // Snapshot returns a consistent-enough point-in-time copy for
 // exposition (individual loads are atomic; the set is not a single
 // linearised cut, which is fine for monitoring counters).
@@ -105,6 +110,20 @@ func (HistogramSnapshot) UpperBound(i int) uint64 {
 		return math.MaxUint64
 	}
 	return 1<<uint(i) - 1
+}
+
+// Delta returns the observations recorded between prev and s — the
+// windowed view a control loop needs from a lifetime-cumulative
+// histogram (take a snapshot each tick and diff against the previous
+// one). prev must be an earlier snapshot of the same histogram.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
 }
 
 // Mean returns the mean observed value, 0 when empty.

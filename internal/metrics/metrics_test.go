@@ -78,11 +78,32 @@ func TestHistogramQuantile(t *testing.T) {
 	if got := s.Quantile(0.5); got != 127 {
 		t.Fatalf("p50 = %d, want 127", got)
 	}
+	if got := h.Quantile(0.5); got != s.Quantile(0.5) {
+		t.Fatalf("live Quantile %d disagrees with snapshot %d", got, s.Quantile(0.5))
+	}
 	if got := s.Quantile(0.99); got != 131071 {
 		t.Fatalf("p99 = %d, want 131071", got)
 	}
 	if got, want := s.Mean(), (90*100.0+10*100_000.0)/100; got != want {
 		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(100)
+	prev := h.Snapshot()
+	h.Observe(100_000)
+	d := h.Snapshot().Delta(prev)
+	if d.Count != 1 || d.Sum != 100_000 {
+		t.Fatalf("delta count=%d sum=%d, want 1/100000", d.Count, d.Sum)
+	}
+	if got := d.Quantile(0.99); got != 131071 {
+		t.Fatalf("delta p99 = %d, want 131071 (the window must not see pre-window observations)", got)
+	}
+	if empty := h.Snapshot().Delta(h.Snapshot()); empty.Count != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatalf("idle-window delta not empty: %+v", empty)
 	}
 }
 

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"edgedrift/internal/oselm"
+	"edgedrift/internal/rng"
+)
+
+// TestMultiConvertPrecision checks the multi-instance conversion: every
+// instance is narrowed, the twin predicts within single-precision
+// rounding of the origin at the conversion instant, and the origin stays
+// bit-frozen while the twin trains on.
+func TestMultiConvertPrecision(t *testing.T) {
+	const classes, d = 3, 8
+	m, err := New(Config{Classes: classes, Inputs: d, Hidden: 6}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	x := make([]float64, d)
+	for i := 0; i < 120; i++ {
+		c := i % classes
+		for j := range x {
+			x[j] = r.Normal(float64(c)*3, 0.3)
+		}
+		m.Train(x, c)
+	}
+	twin, err := m.ConvertPrecision(oselm.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.Precision() != oselm.Float32 {
+		t.Fatalf("twin precision %v", twin.Precision())
+	}
+	if len(twin.instances) != classes {
+		t.Fatalf("twin has %d instances, want %d", len(twin.instances), classes)
+	}
+	for i := 0; i < 50; i++ {
+		for j := range x {
+			x[j] = r.Normal(float64(i%classes)*3, 0.3)
+		}
+		l64, s64 := m.Predict(x)
+		l32, s32 := twin.Predict(x)
+		if l64 != l32 {
+			t.Fatalf("labels diverged at conversion: %d vs %d", l64, l32)
+		}
+		if diff := math.Abs(s64 - s32); diff > 1e-4 {
+			t.Fatalf("scores diverged %g at conversion", diff)
+		}
+	}
+	// The instance-level error (here: widening) propagates up.
+	if _, err := twin.ConvertPrecision(oselm.Float64); err == nil {
+		t.Fatal("accepted a widening conversion")
+	}
+}
+
+// TestMultiConvertOriginFrozen replays identical queries before and
+// after the twin trains and requires bit-equal origin scores.
+func TestMultiConvertOriginFrozen(t *testing.T) {
+	const classes, d = 2, 6
+	m, err := New(Config{Classes: classes, Inputs: d, Hidden: 4}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	x := make([]float64, d)
+	for i := 0; i < 80; i++ {
+		r.FillUniform(x, -1, 1)
+		m.Train(x, i%classes)
+	}
+	queries := make([][]float64, 30)
+	for i := range queries {
+		q := make([]float64, d)
+		r.FillUniform(q, -1, 1)
+		queries[i] = q
+	}
+	wantScores := make([]float64, len(queries))
+	wantLabels := make([]int, len(queries))
+	for i, q := range queries {
+		wantLabels[i], wantScores[i] = m.Predict(q)
+	}
+	twin, err := m.ConvertPrecision(oselm.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		r.FillUniform(x, -1, 1)
+		twin.Train(x, i%classes)
+	}
+	for i, q := range queries {
+		l, s := m.Predict(q)
+		if l != wantLabels[i] || s != wantScores[i] {
+			t.Fatalf("query %d: origin moved after twin training: (%d,%v) vs (%d,%v)",
+				i, l, s, wantLabels[i], wantScores[i])
+		}
+	}
+}

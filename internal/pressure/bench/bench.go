@@ -1,0 +1,246 @@
+// Package bench is the forced-degradation matrix behind the adaptive
+// capacity governor: it measures what the governor actually trades when
+// it demotes a member — throughput gained against detection quality
+// given up — at every level it can force, and gates the whole artifact
+// on the demote→promote off-path being bit-exactly free.
+//
+// It lives beside internal/pressure rather than internal/eval because
+// the eval package sits below the fleet layer (fleet's worker pool uses
+// it), so it cannot import the public edgedrift Monitor whose precision
+// lifecycle is being measured here.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"edgedrift"
+	"edgedrift/internal/datasets/coolingfan"
+	"edgedrift/internal/datasets/nslkdd"
+)
+
+// Paper §4.2 hyper-parameters (mirrors internal/eval, which this
+// package cannot import — see the package comment).
+const (
+	nslHidden         = 22
+	fanHidden         = 22
+	fanTrainN         = 120
+	proposedNReconNSL = 1500
+	proposedNReconFan = 200
+)
+
+// Levels is the degradation axis of the matrix: the full-precision
+// baseline and the two demotion targets the capacity governor can move
+// a member to at runtime.
+var Levels = []string{"f64", "f32", "q16"}
+
+// Point is one stream×level cell of the matrix: the throughput and
+// detection quality of a monitor forced to that degradation level for
+// the whole stream.
+type Point struct {
+	// Stream names the replayed stream ("nsl-kdd", "fan-sudden").
+	Stream string `json:"stream"`
+	// Level is the degradation level ("f64" baseline, "f32", "q16").
+	Level string `json:"level"`
+	// SamplesPerSec is host wall-clock scoring throughput.
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// AccuracyPct is the labelled accuracy in percent, -1 for
+	// unlabelled streams.
+	AccuracyPct float64 `json:"accuracy_pct"`
+	// AccuracyDeltaPct is AccuracyPct minus the stream's f64 baseline
+	// (0 for the baseline itself and for unlabelled streams).
+	AccuracyDeltaPct float64 `json:"accuracy_delta_pct"`
+	// Delay is the detection delay against the ground-truth drift, -1
+	// when the drift went undetected.
+	Delay int `json:"delay"`
+	// MemoryBytes is the monitor's retained footprint at this level —
+	// origin plus twin while demoted, which is why demotion helps
+	// latency budgets but *raises* the memory axis.
+	MemoryBytes int `json:"memory_bytes"`
+}
+
+// Report is the full forced-degradation matrix plus the gate that makes
+// it trustworthy: GoldenGateOK asserts that a monitor which took a
+// demote→promote excursion before the replay is bit-identical —
+// per-sample results and serialised state — to one that never degraded,
+// i.e. the governor's off-path is exactly free.
+type Report struct {
+	Seed         uint64  `json:"seed"`
+	GoldenGateOK bool    `json:"golden_gate_ok"`
+	Points       []Point `json:"points"`
+}
+
+// stream is one replayable stream of the matrix with everything needed
+// to build a fresh monitor for each cell.
+type stream struct {
+	name    string
+	build   func() (*edgedrift.Monitor, error)
+	xs      [][]float64
+	ys      []int // nil for unlabelled streams
+	driftAt int
+}
+
+// streams assembles the Table 2 and Table 3 streams: the NSL-KDD
+// surrogate (labelled, sudden drift) and the cooling-fan sudden stream
+// (unlabelled, delay only).
+func streams(seed uint64) []stream {
+	ds := nslkdd.Generate(nslkdd.DefaultParams())
+	fanP := coolingfan.DefaultParams()
+	fanP.Seed = seed
+	gen := coolingfan.NewGenerator(fanP)
+	fanX, fanY := gen.TrainingSet(fanTrainN)
+	fan := gen.TestSudden()
+	return []stream{
+		{
+			name: "nsl-kdd",
+			build: func() (*edgedrift.Monitor, error) {
+				mon, err := edgedrift.New(edgedrift.Options{
+					Classes: 2, Inputs: nslkdd.Features, Hidden: nslHidden,
+					Window: 100, Seed: seed, NRecon: proposedNReconNSL,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return mon, mon.Fit(ds.TrainX, ds.TrainY)
+			},
+			xs: ds.TestX, ys: ds.TestY, driftAt: ds.DriftAt,
+		},
+		{
+			name: "fan-sudden",
+			build: func() (*edgedrift.Monitor, error) {
+				mon, err := edgedrift.New(edgedrift.Options{
+					Classes: 1, Inputs: coolingfan.Features, Hidden: fanHidden,
+					Window: 50, Seed: seed, NRecon: proposedNReconFan,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return mon, mon.Fit(fanX, fanY)
+			},
+			xs: fan.X, driftAt: fan.DriftAt,
+		},
+	}
+}
+
+// demoteFor forces a freshly fitted monitor to the given level. The f64
+// level is the untouched baseline.
+func demoteFor(mon *edgedrift.Monitor, level string) error {
+	switch level {
+	case "f64":
+		return nil
+	case "f32":
+		return mon.Demote(edgedrift.Float32)
+	case "q16":
+		return mon.Demote(edgedrift.Fixed16)
+	default:
+		return fmt.Errorf("bench: unknown pressure level %q", level)
+	}
+}
+
+// replay runs the whole stream through the monitor per-sample,
+// measuring wall-clock throughput, labelled accuracy and detection
+// delay. Detections are counted from per-sample results because a
+// q16-demoted monitor's lifetime DriftEvents belong to the frozen
+// origin, not the twin doing the work.
+func replay(mon *edgedrift.Monitor, st stream) Point {
+	correct, detectedAt := 0, -1
+	start := time.Now()
+	for i, x := range st.xs {
+		res := mon.Process(x)
+		if st.ys != nil && res.Label == st.ys[i] {
+			correct++
+		}
+		if res.DriftDetected && detectedAt < 0 && i >= st.driftAt {
+			detectedAt = i
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	p := Point{
+		Stream:        st.name,
+		SamplesPerSec: float64(len(st.xs)) / elapsed,
+		AccuracyPct:   -1,
+		Delay:         -1,
+		MemoryBytes:   mon.MemoryBytes(),
+	}
+	if st.ys != nil {
+		p.AccuracyPct = 100 * float64(correct) / float64(len(st.xs))
+	}
+	if detectedAt >= 0 {
+		p.Delay = detectedAt - st.driftAt
+	}
+	return p
+}
+
+// golden is the gate: replay the stream through a monitor that took a
+// full demote→promote excursion (f32 then q16) before the first sample
+// and through one that never degraded, and require bit-identical
+// per-sample results plus bit-identical serialised state afterwards.
+func golden(st stream) (bool, error) {
+	clean, err := st.build()
+	if err != nil {
+		return false, err
+	}
+	excursion, err := st.build()
+	if err != nil {
+		return false, err
+	}
+	for _, target := range []edgedrift.Precision{edgedrift.Float32, edgedrift.Fixed16} {
+		if err := excursion.Demote(target); err != nil {
+			return false, err
+		}
+		if err := excursion.Promote(); err != nil {
+			return false, err
+		}
+	}
+	for _, x := range st.xs {
+		a, b := clean.Process(x), excursion.Process(x)
+		if a != b {
+			return false, nil
+		}
+	}
+	var wantState, gotState bytes.Buffer
+	if err := clean.Save(&wantState, edgedrift.Float64); err != nil {
+		return false, err
+	}
+	if err := excursion.Save(&gotState, edgedrift.Float64); err != nil {
+		return false, err
+	}
+	return bytes.Equal(wantState.Bytes(), gotState.Bytes()), nil
+}
+
+// Run produces the forced-degradation matrix: for each Table 2/3 stream
+// and each degradation level, a fresh monitor is fitted, demoted to the
+// level, and replayed end to end. The golden gate runs on the
+// cooling-fan stream (the cheaper of the two full replays).
+func Run(seed uint64) (*Report, error) {
+	ss := streams(seed)
+	rep := &Report{Seed: seed}
+	for _, st := range ss {
+		base := -1.0
+		for _, level := range Levels {
+			mon, err := st.build()
+			if err != nil {
+				return nil, fmt.Errorf("bench: pressure %s: %w", st.name, err)
+			}
+			if err := demoteFor(mon, level); err != nil {
+				return nil, fmt.Errorf("bench: pressure %s/%s: %w", st.name, level, err)
+			}
+			p := replay(mon, st)
+			p.Level = level
+			if st.ys != nil {
+				if level == "f64" {
+					base = p.AccuracyPct
+				}
+				p.AccuracyDeltaPct = p.AccuracyPct - base
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	ok, err := golden(ss[1])
+	if err != nil {
+		return nil, fmt.Errorf("bench: pressure golden gate: %w", err)
+	}
+	rep.GoldenGateOK = ok
+	return rep, nil
+}

@@ -1,0 +1,324 @@
+// Package pressure is the adaptive capacity governor: the control loop
+// that turns the precision lifecycle (Monitor.Demote / Promote, fleet
+// transitions) into an automatic response to resource pressure on a
+// shard. It watches two budgets — p99 ingest latency and retained
+// memory — and demotes the coldest members first when either budget is
+// exceeded, promoting them back (most recently demoted first) when the
+// pressure clears.
+//
+// The governor is deliberately clock-free and side-effect-free except
+// through the Pool interface: the caller samples the pressure signals
+// and calls Tick, so every decision is a pure function of the observed
+// sequence and the tests can replay any scenario deterministically.
+// Flap resistance is structural, not tuned: a demotion needs HighStreak
+// consecutive over-budget ticks, a promotion needs LowStreak
+// consecutive ticks below ClearFraction of the budget (a genuine
+// hysteresis band — ticks between the two thresholds reset both
+// streaks), and any transition starts a Cooldown during which the
+// governor only watches.
+package pressure
+
+import (
+	"sort"
+
+	"edgedrift/internal/oselm"
+)
+
+// Pool is the slice of a fleet the governor drives. *edgedrift.Fleet
+// satisfies it.
+type Pool interface {
+	// IDs returns the registered stream IDs, sorted.
+	IDs() []string
+	// MemberStats returns one stream's lifetime sample and drift counts.
+	MemberStats(id string) (samples, drifts uint64, err error)
+	// MemberPrecision reports a member's transition state.
+	MemberPrecision(id string) (degraded bool, active oselm.Precision, capable bool, err error)
+	// DemoteMember and PromoteMember run the transitions.
+	DemoteMember(id string, p oselm.Precision) error
+	PromoteMember(id string) error
+}
+
+// Config parameterises a Governor. The zero value of every field gets
+// a sane default from New; budgets left at zero are unenforced axes.
+type Config struct {
+	// LatencyBudgetNs is the p99 ingest-latency budget in nanoseconds;
+	// 0 disables the latency axis.
+	LatencyBudgetNs uint64
+	// MemoryBudgetBytes is the retained-state budget; 0 disables the
+	// memory axis. Note that demotion RAISES the retained total (the
+	// full-precision origin is kept alongside the twin — that retention
+	// is what makes promotion bit-exact), so the memory axis relieves
+	// pressure only through the smaller hot working set; size the
+	// budget against the latency axis for the primary effect.
+	MemoryBudgetBytes int
+	// Target is the precision members are demoted to; default Float32.
+	Target oselm.Precision
+	// HighStreak is how many consecutive over-budget ticks arm a
+	// demotion; default 3.
+	HighStreak int
+	// LowStreak is how many consecutive clear ticks (every enforced
+	// axis below ClearFraction of its budget) arm a promotion;
+	// default 6.
+	LowStreak int
+	// ClearFraction scales the budgets down to the promotion threshold,
+	// opening the hysteresis band between "over budget" and "clear";
+	// default 0.75. Must be in (0, 1].
+	ClearFraction float64
+	// Cooldown is the minimum number of ticks between two transitions;
+	// default 5.
+	Cooldown int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Target == 0 {
+		c.Target = oselm.Float32
+	}
+	if c.HighStreak <= 0 {
+		c.HighStreak = 3
+	}
+	if c.LowStreak <= 0 {
+		c.LowStreak = 6
+	}
+	if c.ClearFraction <= 0 || c.ClearFraction > 1 {
+		c.ClearFraction = 0.75
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5
+	}
+	return c
+}
+
+// Sample is one tick's observed pressure: the shard's current p99
+// ingest latency and retained memory.
+type Sample struct {
+	P99Ns       uint64
+	MemoryBytes int
+}
+
+// ActionKind classifies what a Tick did.
+type ActionKind int
+
+const (
+	// None: the governor only watched this tick.
+	None ActionKind = iota
+	// Demote: one member was demoted to the configured target.
+	Demote
+	// Promote: the most recently governor-demoted member was promoted.
+	Promote
+)
+
+// Action reports one Tick's decision.
+type Action struct {
+	Kind   ActionKind
+	Stream string
+}
+
+// Metrics is the governor's counter snapshot.
+type Metrics struct {
+	Ticks       uint64
+	OverBudget  uint64 // ticks with at least one axis over budget
+	Demotions   uint64
+	Promotions  uint64
+	Errors      uint64 // transitions the pool refused
+	Demoted     int    // members currently demoted by this governor
+	HighStreak  int    // current consecutive over-budget ticks
+	LowStreak   int    // current consecutive clear ticks
+	SinceChange int    // ticks since the last transition
+}
+
+// Governor is the control loop. Not safe for concurrent Tick calls;
+// drive it from one goroutine (the shard's pressure loop).
+type Governor struct {
+	cfg  Config
+	pool Pool
+
+	lastSamples map[string]uint64 // per-member lifetime samples at the previous tick
+	lastDelta   map[string]uint64 // samples served between the last two ticks
+	stack       []string          // members demoted by this governor, LIFO
+
+	high, low   int
+	sinceChange int
+
+	ticks, overBudget, demotions, promotions, errs uint64
+}
+
+// New builds a governor over a pool.
+func New(cfg Config, pool Pool) *Governor {
+	return &Governor{
+		cfg:         cfg.withDefaults(),
+		pool:        pool,
+		lastSamples: map[string]uint64{},
+		lastDelta:   map[string]uint64{},
+		sinceChange: 1 << 30, // no cooldown before the first transition
+	}
+}
+
+// over reports whether any enforced axis exceeds its budget.
+func (g *Governor) over(s Sample) bool {
+	if g.cfg.LatencyBudgetNs > 0 && s.P99Ns > g.cfg.LatencyBudgetNs {
+		return true
+	}
+	if g.cfg.MemoryBudgetBytes > 0 && s.MemoryBytes > g.cfg.MemoryBudgetBytes {
+		return true
+	}
+	return false
+}
+
+// clear reports whether every enforced axis is below ClearFraction of
+// its budget — the promotion side of the hysteresis band.
+func (g *Governor) clear(s Sample) bool {
+	if g.cfg.LatencyBudgetNs > 0 && float64(s.P99Ns) > g.cfg.ClearFraction*float64(g.cfg.LatencyBudgetNs) {
+		return false
+	}
+	if g.cfg.MemoryBudgetBytes > 0 && float64(s.MemoryBytes) > g.cfg.ClearFraction*float64(g.cfg.MemoryBudgetBytes) {
+		return false
+	}
+	return true
+}
+
+// Tick advances the control loop one step with the given pressure
+// sample and performs at most one transition. It never flaps: the
+// streak and cooldown preconditions make a demote→promote oscillation
+// impossible under any steady pressure signal.
+func (g *Governor) Tick(s Sample) Action {
+	g.ticks++
+	g.sinceChange++
+	g.updateColdness()
+
+	switch {
+	case g.over(s):
+		g.overBudget++
+		g.high++
+		g.low = 0
+		if g.high >= g.cfg.HighStreak && g.sinceChange > g.cfg.Cooldown {
+			if id, ok := g.demoteColdest(); ok {
+				g.high = 0
+				g.sinceChange = 0
+				return Action{Kind: Demote, Stream: id}
+			}
+		}
+	case g.clear(s):
+		g.low++
+		g.high = 0
+		if g.low >= g.cfg.LowStreak && g.sinceChange > g.cfg.Cooldown && len(g.stack) > 0 {
+			if id, ok := g.promoteLatest(); ok {
+				g.low = 0
+				g.sinceChange = 0
+				return Action{Kind: Promote, Stream: id}
+			}
+		}
+	default:
+		// Inside the hysteresis band: neither demotion nor promotion
+		// evidence accumulates — this is what prevents flapping around
+		// either threshold.
+		g.high, g.low = 0, 0
+	}
+	return Action{Kind: None}
+}
+
+// updateColdness refreshes the per-member sample deltas used to rank
+// members by recent activity. Members the pool no longer knows are
+// forgotten (and dropped from the demotion stack — a removed member
+// cannot be promoted).
+func (g *Governor) updateColdness() {
+	ids := g.pool.IDs()
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+		n, _, err := g.pool.MemberStats(id)
+		if err != nil {
+			continue
+		}
+		if prev, ok := g.lastSamples[id]; ok {
+			g.lastDelta[id] = n - prev
+		} else {
+			g.lastDelta[id] = 0
+		}
+		g.lastSamples[id] = n
+	}
+	for id := range g.lastSamples {
+		if !seen[id] {
+			delete(g.lastSamples, id)
+			delete(g.lastDelta, id)
+		}
+	}
+	if len(g.stack) > 0 {
+		kept := g.stack[:0]
+		for _, id := range g.stack {
+			if seen[id] {
+				kept = append(kept, id)
+			}
+		}
+		g.stack = kept
+	}
+}
+
+// demoteColdest demotes the least recently active member that is
+// capable and not already demoted, trying candidates in coldness order
+// until one succeeds. Ties break by ID so the choice is deterministic.
+func (g *Governor) demoteColdest() (string, bool) {
+	type cand struct {
+		id    string
+		delta uint64
+	}
+	var cands []cand
+	for _, id := range g.pool.IDs() {
+		degraded, _, capable, err := g.pool.MemberPrecision(id)
+		if err != nil || !capable || degraded {
+			continue
+		}
+		cands = append(cands, cand{id: id, delta: g.lastDelta[id]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].delta != cands[j].delta {
+			return cands[i].delta < cands[j].delta
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if err := g.pool.DemoteMember(c.id, g.cfg.Target); err != nil {
+			g.errs++
+			continue
+		}
+		g.demotions++
+		g.stack = append(g.stack, c.id)
+		return c.id, true
+	}
+	return "", false
+}
+
+// promoteLatest promotes the most recently demoted member (LIFO: the
+// member degraded longest gets its full precision back last, keeping
+// the recovery order the mirror of the degradation order).
+func (g *Governor) promoteLatest() (string, bool) {
+	for len(g.stack) > 0 {
+		id := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if err := g.pool.PromoteMember(id); err != nil {
+			g.errs++
+			continue
+		}
+		g.promotions++
+		return id, true
+	}
+	return "", false
+}
+
+// Metrics snapshots the governor's counters.
+func (g *Governor) Metrics() Metrics {
+	since := g.sinceChange
+	if since > 1<<29 {
+		since = 0 // never transitioned; render as 0 rather than the sentinel
+	}
+	return Metrics{
+		Ticks:       g.ticks,
+		OverBudget:  g.overBudget,
+		Demotions:   g.demotions,
+		Promotions:  g.promotions,
+		Errors:      g.errs,
+		Demoted:     len(g.stack),
+		HighStreak:  g.high,
+		LowStreak:   g.low,
+		SinceChange: since,
+	}
+}

@@ -499,6 +499,14 @@ func (r *Router) Stats() (wire.Stats, error) {
 		agg.MigratedIn += st.MigratedIn
 		agg.MigratedOut += st.MigratedOut
 		agg.QueueDepth += st.QueueDepth
+		agg.Degraded += st.Degraded
+		agg.Demotions += st.Demotions
+		agg.Promotions += st.Promotions
+		agg.TransitionFailures += st.TransitionFailures
+		// Latency does not sum: the tier's p99 is its worst shard's.
+		if st.IngestP99Ns > agg.IngestP99Ns {
+			agg.IngestP99Ns = st.IngestP99Ns
+		}
 	}
 	return agg, nil
 }

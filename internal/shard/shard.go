@@ -39,6 +39,7 @@ import (
 
 	"edgedrift"
 	"edgedrift/internal/metrics"
+	"edgedrift/internal/pressure"
 	"edgedrift/internal/wire"
 )
 
@@ -67,6 +68,15 @@ type Config struct {
 	Cohort string
 	// Fleet configures the shard's fleet.
 	Fleet edgedrift.FleetConfig
+	// Pressure, when non-nil, runs the adaptive capacity governor over
+	// this shard's fleet: every PressureInterval the shard samples its
+	// p99 batch-ingest latency and retained memory and feeds one
+	// governor tick, demoting the coldest members under sustained
+	// budget pressure and promoting them back when it clears (see
+	// internal/pressure for the hysteresis contract).
+	Pressure *pressure.Config
+	// PressureInterval is the governor tick period; 0 means 500ms.
+	PressureInterval time.Duration
 	// Logf receives shard lifecycle logs; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -86,15 +96,20 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	batches      metrics.Counter
-	shedSamples  metrics.Counter
-	shedBatches  metrics.Counter
-	migratedIn   metrics.Counter
-	migratedOut  metrics.Counter
-	mergeFetches metrics.Counter
-	mergeSeeds   metrics.Counter
-	queueDepth   atomic.Int64 // queued batches across all connections
-	connections  atomic.Int64
+	batches       metrics.Counter
+	shedSamples   metrics.Counter
+	shedBatches   metrics.Counter
+	migratedIn    metrics.Counter
+	migratedOut   metrics.Counter
+	mergeFetches  metrics.Counter
+	mergeSeeds    metrics.Counter
+	ingestLatency metrics.Histogram // per-batch ProcessBatch wall time, ns
+	queueDepth    atomic.Int64      // queued batches across all connections
+	connections   atomic.Int64
+
+	govMu   sync.Mutex // guards gov (Tick vs Metrics scrapes)
+	gov     *pressure.Governor
+	govStop chan struct{}
 }
 
 // New builds a shard server (not yet listening; call Serve).
@@ -122,7 +137,54 @@ func New(cfg Config) (*Server, error) {
 	if _, err := s.newMember(); err != nil {
 		return nil, fmt.Errorf("shard: bad template: %w", err)
 	}
+	if cfg.Pressure != nil {
+		interval := cfg.PressureInterval
+		if interval <= 0 {
+			interval = 500 * time.Millisecond
+		}
+		s.gov = pressure.New(*cfg.Pressure, s.fleet)
+		s.govStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.governorLoop(interval)
+	}
 	return s, nil
+}
+
+// governorLoop drives the pressure governor: each tick samples the
+// shard's p99 ingest latency and retained memory and lets the governor
+// decide. The governor itself is clock-free — this loop is the only
+// place wall time enters the control path.
+func (s *Server) governorLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var prev metrics.HistogramSnapshot
+	for {
+		select {
+		case <-s.govStop:
+			return
+		case <-t.C:
+			// Windowed p99: the lifetime histogram diffed against the
+			// previous tick, so cleared pressure actually reads as
+			// cleared (an idle window reads 0).
+			cur := s.ingestLatency.Snapshot()
+			win := cur.Delta(prev)
+			prev = cur
+			sample := pressure.Sample{
+				P99Ns:       win.Quantile(0.99),
+				MemoryBytes: s.fleet.MemoryBytes(),
+			}
+			s.govMu.Lock()
+			act := s.gov.Tick(sample)
+			s.govMu.Unlock()
+			switch act.Kind {
+			case pressure.Demote:
+				s.cfg.Logf("shard: governor demoted %q (p99 %dns, %d bytes retained)", act.Stream, sample.P99Ns, sample.MemoryBytes)
+			case pressure.Promote:
+				s.cfg.Logf("shard: governor promoted %q (pressure cleared)", act.Stream)
+			}
+		}
+	}
 }
 
 // Fleet exposes the shard's fleet (metrics, health, tests).
@@ -215,6 +277,9 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if s.govStop != nil {
+		close(s.govStop)
 	}
 	var err error
 	s.connMu.Lock()
@@ -353,6 +418,7 @@ func (s *Server) worker(c *wire.Conn, jobs chan job) {
 	var ack []byte
 	for j := range jobs {
 		s.queueDepth.Add(-1)
+		start := time.Now()
 		var err error
 		results, err = s.fleet.ProcessBatchInto(results[:0], j.stream, j.xs)
 		if err != nil {
@@ -368,6 +434,7 @@ func (s *Server) worker(c *wire.Conn, jobs chan job) {
 			}
 		}
 		s.batches.Inc()
+		s.ingestLatency.Observe(uint64(time.Since(start)))
 		ack = wire.AppendResults(ack[:0], j.stream, results)
 		if err := c.WriteFrame(wire.TypeBatchAck, ack); err != nil {
 			return
@@ -471,15 +538,20 @@ func (s *Server) Stats() wire.Stats {
 		qd = 0
 	}
 	return wire.Stats{
-		Streams:     uint32(m.Streams),
-		Samples:     m.Samples,
-		Drifts:      m.Drifts,
-		Batches:     s.batches.Load(),
-		ShedSamples: s.shedSamples.Load(),
-		ShedBatches: s.shedBatches.Load(),
-		MigratedIn:  s.migratedIn.Load(),
-		MigratedOut: s.migratedOut.Load(),
-		QueueDepth:  uint32(qd),
+		Streams:            uint32(m.Streams),
+		Samples:            m.Samples,
+		Drifts:             m.Drifts,
+		Batches:            s.batches.Load(),
+		ShedSamples:        s.shedSamples.Load(),
+		ShedBatches:        s.shedBatches.Load(),
+		MigratedIn:         s.migratedIn.Load(),
+		MigratedOut:        s.migratedOut.Load(),
+		QueueDepth:         uint32(qd),
+		Degraded:           uint32(m.Degraded),
+		Demotions:          m.Demotions,
+		Promotions:         m.Promotions,
+		TransitionFailures: m.TransitionFailures,
+		IngestP99Ns:        s.ingestLatency.Quantile(0.99),
 	}
 }
 
@@ -499,6 +571,20 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	tw.Counter("edgedrift_shard_merge_seeds_total", "Members re-seeded from peer merge states (cross-shard recovery targets).", nil, s.mergeSeeds.Load())
 	tw.Gauge("edgedrift_shard_queue_depth", "Batches queued across all ingest connections.", nil, float64(s.queueDepth.Load()))
 	tw.Gauge("edgedrift_shard_connections", "Live ingest connections.", nil, float64(s.connections.Load()))
+	if lat := s.ingestLatency.Snapshot(); lat.Count > 0 {
+		tw.Histogram("edgedrift_shard_ingest_latency_seconds", "Per-batch fleet ProcessBatch wall time.", nil, lat, 1e-9)
+	}
+	if s.gov != nil {
+		s.govMu.Lock()
+		gm := s.gov.Metrics()
+		s.govMu.Unlock()
+		tw.Counter("edgedrift_shard_governor_ticks_total", "Pressure-governor control-loop ticks.", nil, gm.Ticks)
+		tw.Counter("edgedrift_shard_governor_over_budget_total", "Ticks with at least one pressure axis over budget.", nil, gm.OverBudget)
+		tw.Counter("edgedrift_shard_governor_demotions_total", "Members demoted by the governor.", nil, gm.Demotions)
+		tw.Counter("edgedrift_shard_governor_promotions_total", "Members promoted back by the governor.", nil, gm.Promotions)
+		tw.Counter("edgedrift_shard_governor_errors_total", "Transitions the fleet refused to the governor.", nil, gm.Errors)
+		tw.Gauge("edgedrift_shard_governor_demoted", "Members currently demoted by the governor.", nil, float64(gm.Demoted))
+	}
 	return tw.Err()
 }
 

@@ -524,6 +524,15 @@ type Stats struct {
 	MigratedIn  uint64
 	MigratedOut uint64
 	QueueDepth  uint32
+	// Adaptive-capacity fields: members currently demoted, lifetime
+	// transition counters, and the shard's p99 batch-ingest latency
+	// (0 before any batch). A router aggregation sums the counters and
+	// takes the worst p99 across shards.
+	Degraded           uint32
+	Demotions          uint64
+	Promotions         uint64
+	TransitionFailures uint64
+	IngestP99Ns        uint64
 }
 
 // AppendStats encodes a StatsReply payload.
@@ -532,13 +541,18 @@ func AppendStats(dst []byte, s Stats) []byte {
 	for _, v := range [...]uint64{s.Samples, s.Drifts, s.Batches, s.ShedSamples, s.ShedBatches, s.MigratedIn, s.MigratedOut} {
 		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
-	return binary.LittleEndian.AppendUint32(dst, s.QueueDepth)
+	dst = binary.LittleEndian.AppendUint32(dst, s.QueueDepth)
+	dst = binary.LittleEndian.AppendUint32(dst, s.Degraded)
+	for _, v := range [...]uint64{s.Demotions, s.Promotions, s.TransitionFailures, s.IngestP99Ns} {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
 }
 
 // ParseStats decodes a StatsReply payload.
 func ParseStats(p []byte) (Stats, error) {
 	var s Stats
-	if len(p) != 4+7*8+4 {
+	if len(p) != 4+7*8+4+4+4*8 {
 		return s, fmt.Errorf("%w: stats payload %d bytes", ErrProtocol, len(p))
 	}
 	s.Streams = binary.LittleEndian.Uint32(p)
@@ -548,6 +562,13 @@ func ParseStats(p []byte) (Stats, error) {
 		p = p[8:]
 	}
 	s.QueueDepth = binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	s.Degraded = binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	for _, v := range [...]*uint64{&s.Demotions, &s.Promotions, &s.TransitionFailures, &s.IngestP99Ns} {
+		*v = binary.LittleEndian.Uint64(p)
+		p = p[8:]
+	}
 	return s, nil
 }
 

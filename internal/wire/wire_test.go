@@ -89,10 +89,18 @@ func TestShedAndStatsRoundTrip(t *testing.T) {
 		t.Fatalf("shed round trip: %q %d %v", stream, n, err)
 	}
 	s := Stats{Streams: 3, Samples: 1000, Drifts: 5, Batches: 40, ShedSamples: 64,
-		ShedBatches: 1, MigratedIn: 2, MigratedOut: 1, QueueDepth: 9}
+		ShedBatches: 1, MigratedIn: 2, MigratedOut: 1, QueueDepth: 9,
+		Degraded: 2, Demotions: 4, Promotions: 2, TransitionFailures: 1,
+		IngestP99Ns: 1_048_575}
 	got, err := ParseStats(AppendStats(nil, s))
 	if err != nil || got != s {
 		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+	// A payload from a pre-transition peer (or any torn length) is
+	// rejected, not misparsed.
+	short := AppendStats(nil, s)[:4+7*8+4]
+	if _, err := ParseStats(short); err == nil {
+		t.Fatal("legacy-length stats payload parsed")
 	}
 }
 
